@@ -1,0 +1,315 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out and the
+// paper's proposed extensions: each reports the quality metric the choice
+// buys, not just its speed.
+package nlfl_test
+
+import (
+	"math"
+	"testing"
+
+	"nlfl/internal/affinity"
+	"nlfl/internal/dessim"
+	"nlfl/internal/dlt"
+	"nlfl/internal/experiments"
+	"nlfl/internal/matmul"
+	"nlfl/internal/outer"
+	"nlfl/internal/partition"
+	"nlfl/internal/platform"
+	"nlfl/internal/polymul"
+	"nlfl/internal/samplesort"
+	"nlfl/internal/stats"
+)
+
+// BenchmarkAblationPartitioners compares the column-based DP against the
+// √p heuristic and (for small p) the exact guillotine optimum.
+func BenchmarkAblationPartitioners(b *testing.B) {
+	r := stats.NewRNG(21)
+	areas := stats.SampleN(stats.LogNormal{Mu: 0, Sigma: 1.5}, r, 40)
+	smallAreas := stats.SampleN(stats.LogNormal{Mu: 0, Sigma: 1.5}, r, 6)
+	b.Run("column-dp", func(b *testing.B) {
+		var cost float64
+		for i := 0; i < b.N; i++ {
+			p, err := partition.PeriSum(areas)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cost = p.SumHalfPerimeters()
+		}
+		b.ReportMetric(cost, "C-hat")
+	})
+	b.Run("sqrt-heuristic", func(b *testing.B) {
+		var cost float64
+		for i := 0; i < b.N; i++ {
+			p, err := partition.SqrtHeuristic(areas)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cost = p.SumHalfPerimeters()
+		}
+		b.ReportMetric(cost, "C-hat")
+	})
+	b.Run("guillotine-exact-p6", func(b *testing.B) {
+		var gap float64
+		for i := 0; i < b.N; i++ {
+			g, err := partition.ColumnGapToGuillotine(smallAreas)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gap = g
+		}
+		b.ReportMetric(gap, "columnDP-over-optimal")
+	})
+}
+
+// BenchmarkAblationAffinity quantifies the conclusion's proposal: the
+// comm-volume ratio of the three demand-driven policies.
+func BenchmarkAblationAffinity(b *testing.B) {
+	r := stats.NewRNG(22)
+	pl, err := platform.Generate(10, stats.Uniform{Lo: 1, Hi: 100}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pol := range []affinity.Policy{affinity.PolicyNoCache, affinity.PolicyCache, affinity.PolicyAffinity} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				res, err := affinity.Run(pl, 1000, 30, pol)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = res.Ratio
+			}
+			b.ReportMetric(ratio, "volume-over-LB")
+		})
+	}
+}
+
+// BenchmarkAblationMultiRound sweeps the round count of the linear-DLT
+// pipelining extension.
+func BenchmarkAblationMultiRound(b *testing.B) {
+	r := stats.NewRNG(23)
+	ws := make([]platform.Worker, 8)
+	for i := range ws {
+		ws[i] = platform.Worker{Speed: 0.5 + 4*r.Float64(), Bandwidth: 0.5 + 4*r.Float64()}
+	}
+	pl, err := platform.New(ws)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 400.0
+	alloc, err := dlt.OptimalParallel(pl, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rounds := range []int{1, 4, 16} {
+		rounds := rounds
+		b.Run(roundsName(rounds), func(b *testing.B) {
+			var ms float64
+			for i := 0; i < b.N; i++ {
+				chunks, err := dlt.MultiRoundUniform(alloc, n, rounds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms, err = dlt.SimulatedMakespan(pl, chunks, dessim.ParallelLinks)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(ms, "makespan")
+		})
+	}
+}
+
+func roundsName(r int) string {
+	switch r {
+	case 1:
+		return "rounds-1"
+	case 4:
+		return "rounds-4"
+	default:
+		return "rounds-16"
+	}
+}
+
+// BenchmarkAblationBalancedSort compares the paper's speed-proportional
+// heterogeneous buckets against the log-corrected balanced shares.
+func BenchmarkAblationBalancedSort(b *testing.B) {
+	pl, err := platform.FromSpeeds([]float64{1, 1, 16, 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRNG(24)
+	xs := make([]float64, 200000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	cfg := samplesort.Config{Seed: 7, Oversampling: 4000}
+	b.Run("proportional", func(b *testing.B) {
+		var e float64
+		for i := 0; i < b.N; i++ {
+			_, ht, err := samplesort.SortHeterogeneous(xs, pl, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e = ht.Imbalance()
+		}
+		b.ReportMetric(e, "imbalance")
+	})
+	b.Run("balanced", func(b *testing.B) {
+		var e float64
+		for i := 0; i < b.N; i++ {
+			_, ht, err := samplesort.SortHeterogeneousBalanced(xs, pl, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e = ht.Imbalance()
+		}
+		b.ReportMetric(e, "imbalance")
+	})
+}
+
+// BenchmarkAblation25D evaluates the 2.5D replication trade-off the paper
+// singles out as the exception to outer-product-based matmul.
+func BenchmarkAblation25D(b *testing.B) {
+	const n = 1024.0
+	var bestC int
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		c, v, err := matmul.Best25DReplication(n, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v1, err := matmul.Comm25DTotal(n, 4096, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestC, saving = c, v1/v
+	}
+	b.ReportMetric(float64(bestC), "best-c")
+	b.ReportMetric(saving, "volume-saving")
+	if saving < 1 || math.IsNaN(saving) {
+		b.Fatal("2.5D saving must be ≥ 1")
+	}
+}
+
+// BenchmarkE16Adaptivity measures the static-vs-demand-driven slowdown
+// experiment and reports the worst-case makespan gap.
+func BenchmarkE16Adaptivity(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Adaptivity(8, 800, 256, []float64{0.02})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = rows[0].Static / rows[0].Demand
+	}
+	b.ReportMetric(gap, "static-over-demand")
+}
+
+// BenchmarkPolymulKernels compares the three convolution algorithms on a
+// real input (the ref [20] case study).
+func BenchmarkPolymulKernels(b *testing.B) {
+	r := stats.NewRNG(30)
+	a := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, 4096)
+	c := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, 4096)
+	b.Run("schoolbook", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := polymul.Naive(a, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("karatsuba", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := polymul.Karatsuba(a, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fft", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := polymul.FFT(a, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationRoundedCommhomK compares the two readings of the
+// Comm_hom/k integer-assignment rule at the paper's p=100.
+func BenchmarkAblationRoundedCommhomK(b *testing.B) {
+	r := stats.NewRNG(31)
+	pl, err := platform.Generate(100, stats.Uniform{Lo: 1, Hi: 100}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("demand-driven", func(b *testing.B) {
+		var ratio float64
+		for i := 0; i < b.N; i++ {
+			res, err := outer.CommhomK(pl, 1000, 0.01, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ratio = res.Ratio
+		}
+		b.ReportMetric(ratio, "ratio")
+	})
+	b.Run("rounded", func(b *testing.B) {
+		var ratio float64
+		for i := 0; i < b.N; i++ {
+			res, err := outer.CommhomKRounded(pl, 1000, 0.01, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ratio = res.Ratio
+		}
+		b.ReportMetric(ratio, "ratio")
+	})
+}
+
+// BenchmarkDistributedSort runs the end-to-end §3 simulation.
+func BenchmarkDistributedSort(b *testing.B) {
+	pl, err := platform.Homogeneous(8, 1, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		c, err := samplesort.SimulateDistributed(pl, 1<<18, samplesort.Config{}, dessim.ParallelLinks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = c.Speedup()
+	}
+	b.ReportMetric(speedup, "speedup")
+}
+
+// BenchmarkReturnOrders measures the FIFO/LIFO result-collection
+// extension (the §1.2 exclusion restored).
+func BenchmarkReturnOrders(b *testing.B) {
+	r := stats.NewRNG(33)
+	ws := make([]platform.Worker, 8)
+	for i := range ws {
+		ws[i] = platform.Worker{Speed: 0.5 + 4*r.Float64(), Bandwidth: 0.5 + 4*r.Float64()}
+	}
+	pl, err := platform.New(ws)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunks := make([]dessim.Chunk, 8)
+	for i := range chunks {
+		d := 1 + 4*r.Float64()
+		chunks[i] = dessim.Chunk{Worker: i, Data: d, Work: d}
+	}
+	var fifo, lifo float64
+	for i := 0; i < b.N; i++ {
+		f, l, err := dessim.CompareReturnOrders(pl, chunks, 0.8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fifo, lifo = f, l
+	}
+	b.ReportMetric(fifo, "fifo-makespan")
+	b.ReportMetric(lifo, "lifo-makespan")
+}

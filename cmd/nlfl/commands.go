@@ -1,0 +1,401 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nlfl/internal/core"
+	"nlfl/internal/experiments"
+	"nlfl/internal/mapreduce"
+	"nlfl/internal/matmul"
+	"nlfl/internal/outer"
+	"nlfl/internal/partition"
+	"nlfl/internal/platform"
+	"nlfl/internal/results"
+	"nlfl/internal/samplesort"
+	"nlfl/internal/stats"
+)
+
+// runFig4 reproduces one panel of Figure 4.
+func runFig4(args []string) error {
+	fs := newFlagSet("fig4")
+	dist := fs.String("dist", "uniform", "speed profile: homogeneous|uniform|lognormal|bimodal")
+	trials := fs.Int("trials", 100, "random platforms per point (paper: 100)")
+	seed := fs.Int64("seed", 42, "random seed")
+	pmax := fs.Int("pmax", 100, "largest processor count")
+	k := fs.Float64("k", 16, "speed factor for the bimodal profile")
+	csv := fs.Bool("csv", false, "emit CSV instead of chart+table")
+	logy := fs.Bool("log", false, "log-scale y axis for the chart")
+	out := fs.String("out", "", "also save the points as a JSON result record")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	profile, err := platform.ParseProfile(*dist)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.DefaultFig4Config(profile)
+	cfg.Trials = *trials
+	cfg.Seed = *seed
+	cfg.BimodalK = *k
+	cfg.Ps = nil
+	for p := 10; p <= *pmax; p += 10 {
+		cfg.Ps = append(cfg.Ps, p)
+	}
+	points, err := experiments.Fig4(cfg)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		rec := results.Record{
+			Experiment: "fig4-" + profile.String(),
+			Params: map[string]float64{
+				"trials": float64(*trials), "seed": float64(*seed),
+				"pmax": float64(*pmax), "bimodalK": *k,
+			},
+			Data: points,
+		}
+		if err := results.Save(*out, rec); err != nil {
+			return err
+		}
+		fmt.Printf("saved %s\n", *out)
+	}
+	title := fmt.Sprintf("Figure 4 — %s computation speeds (%d trials/point)", profile, *trials)
+	chart := experiments.Fig4Chart(points, title)
+	chart.LogY = *logy
+	if *csv {
+		fmt.Print(chart.CSV())
+		return nil
+	}
+	fmt.Print(chart.Render())
+	fmt.Println()
+	fmt.Print(experiments.Fig4Table(points).String())
+	return nil
+}
+
+// runNonLinear reproduces the Section 2 fraction table.
+func runNonLinear(args []string) error {
+	fs := newFlagSet("nonlinear")
+	n := fs.Float64("n", 1000, "load size N")
+	alphas := fs.String("alphas", "1.5,2,3", "comma-separated cost exponents")
+	ps := fs.String("ps", "2,4,10,32,100", "comma-separated platform sizes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	alphaList, err := parseFloats(*alphas)
+	if err != nil {
+		return err
+	}
+	pList, err := parseInts(*ps)
+	if err != nil {
+		return err
+	}
+	table, _, err := experiments.NonLinearTable(pList, alphaList, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Section 2 — fraction of the total work W = N^α left UNDONE by an")
+	fmt.Println("optimal one-phase DLT distribution (closed form: 1 - 1/P^(α-1)):")
+	fmt.Println()
+	fmt.Print(table.String())
+	fmt.Println("\nThe fraction tends to 1 as P grows for every α > 1 — there is no free lunch.")
+	return nil
+}
+
+// runSort reproduces the Section 3 sorting experiments.
+func runSort(args []string) error {
+	fs := newFlagSet("sort")
+	p := fs.Int("p", 8, "number of workers")
+	seed := fs.Int64("seed", 7, "random seed")
+	trials := fs.Int("trials", 30, "concentration-check trials")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := experiments.SortScaling([]int{1 << 10, 1 << 14, 1 << 17, 1 << 20}, *p, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Section 3 — sorting as an almost-divisible load:")
+	fmt.Println()
+	fmt.Print(experiments.SortScalingTable(rows, *p).String())
+	res, err := samplesort.CheckConcentration(1<<16, *p, 0, *trials, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Printf("Theorem B.4 check (N=%d, p=%d, s=log²N=%d, %d trials):\n", res.N, res.P, res.S, res.Trials)
+	fmt.Printf("  empirical P(max bucket > threshold) = %.3f (bound: %.3f)\n",
+		res.EmpiricalFailureRate(), res.FailureBound)
+	fmt.Printf("  mean max-bucket/(N/p) = %.4f (threshold ratio: %.4f)\n",
+		res.MeanRatio, res.Threshold/(float64(res.N)/float64(res.P)))
+	return nil
+}
+
+// runRho reproduces the Section 4.1.3 ρ analysis.
+func runRho(args []string) error {
+	fs := newFlagSet("rho")
+	p := fs.Int("p", 20, "platform size (even: half slow, half fast)")
+	ks := fs.String("ks", "1,4,16,64,100", "comma-separated speed factors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kList, err := parseFloats(*ks)
+	if err != nil {
+		return err
+	}
+	points, err := experiments.RhoSweep(kList, *p, 1000)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Section 4.1.3 — ρ = Comm_hom/Comm_het on the half-slow/half-k×-fast platform:")
+	fmt.Println()
+	fmt.Print(experiments.RhoTable(points).String())
+	return nil
+}
+
+// runPartition reproduces the E12 partitioner-quality sweep.
+func runPartition(args []string) error {
+	fs := newFlagSet("partition")
+	trials := fs.Int("trials", 50, "trials per cell")
+	seed := fs.Int64("seed", 11, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := experiments.PartitionQuality([]int{10, 25, 50, 100}, *trials, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Section 4.1.2 — PERI-SUM column-based partitioner quality Ĉ/LB")
+	fmt.Println("(guarantee: ≤ 1 + (5/4)·LB, i.e. ratio ≤ 7/4; paper observes ≈1.02):")
+	fmt.Println()
+	fmt.Print(experiments.PartitionQualityTable(rows).String())
+	return nil
+}
+
+// runOuter details the three strategies on one random platform.
+func runOuter(args []string) error {
+	fs := newFlagSet("outer")
+	p := fs.Int("p", 20, "number of workers")
+	n := fs.Float64("n", 1000, "vector length N")
+	dist := fs.String("dist", "uniform", "speed profile")
+	seed := fs.Int64("seed", 3, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	profile, err := platform.ParseProfile(*dist)
+	if err != nil {
+		return err
+	}
+	pl, err := platform.Generate(*p, profile.Distribution(16), stats.NewRNG(*seed))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("platform: %v\n", pl)
+	fmt.Printf("lower bound LB = 2N·Σ√xᵢ = %.4g\n\n", outer.LowerBound(pl, *n))
+	hom := outer.Commhom(pl, *n)
+	fmt.Println(hom.String())
+	homk, err := outer.CommhomK(pl, *n, 0.01, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println(homk.String())
+	het, err := outer.Commhet(pl, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Println(het.String())
+	plan, err := core.PlanOuterProduct(pl, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(plan.String())
+	return nil
+}
+
+// runMatMul runs a real verified product and the layout volume accounting.
+func runMatMul(args []string) error {
+	fs := newFlagSet("matmul")
+	n := fs.Int("n", 96, "matrix dimension")
+	seed := fs.Int64("seed", 5, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a := matmul.Random(*n, *n, *seed)
+	b := matmul.Random(*n, *n, *seed+1)
+	ref, err := matmul.Naive(a, b)
+	if err != nil {
+		return err
+	}
+	op, err := matmul.OuterProduct(a, b)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("outer-product algorithm == naive kernel: %v\n\n", ref.Equal(op, 1e-9))
+
+	grid, err := matmul.NewBlockCyclic(*n, 2, 2, *n/8)
+	if err != nil {
+		return err
+	}
+	gridRep := matmul.CommVolume(grid)
+	fmt.Printf("%-24s total=%.4g (closed form %.4g)\n", gridRep.Layout,
+		gridRep.Total, matmul.GridCommClosedForm(2, 2, *n))
+
+	speeds := []float64{1, 2, 4, 9}
+	part, err := partition.PeriSum(speeds)
+	if err != nil {
+		return err
+	}
+	rect, err := matmul.NewRectLayout(*n, part)
+	if err != nil {
+		return err
+	}
+	rectRep := matmul.CommVolume(rect)
+	fmt.Printf("%-24s total=%.4g (closed form %.4g)\n", rectRep.Layout,
+		rectRep.Total, matmul.RectCommClosedForm(part, *n))
+	fmt.Printf("\nspeed-weighted work imbalance: grid=%.3g rect=%.3g (speeds %v)\n",
+		gridRep.Imbalance(speeds), rectRep.Imbalance(speeds), speeds)
+	return nil
+}
+
+// runMapReduce compares distributions and runs the demo job.
+func runMapReduce(args []string) error {
+	fs := newFlagSet("mapreduce")
+	n := fs.Int("n", 512, "matrix dimension for the closed-form menu")
+	demo := fs.Int("demo", 12, "dimension of the real MapReduce product (n³ records!)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	table, err := experiments.MapReduceComparison(*n, []float64{1, 1, 5, 9}, 2, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("matmul data-distribution menu at n=%d (speeds 1,1,5,9):\n\n", *n)
+	fmt.Print(table.String())
+
+	a := matmul.Random(*demo, *demo, 1)
+	b := matmul.Random(*demo, *demo, 2)
+	got, ctr, err := mapreduce.RunMatMulPairs(a, b, 4, 4, true)
+	if err != nil {
+		return err
+	}
+	ref, err := matmul.Naive(a, b)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nreal MapReduce product at n=%d: correct=%v\n  %s\n",
+		*demo, ref.Equal(got, 1e-9), ctr)
+	return nil
+}
+
+// runAnalyze prints the core divisibility verdict.
+func runAnalyze(args []string) error {
+	fs := newFlagSet("analyze")
+	kind := fs.String("kind", "power", "workload kind: linear|loglinear|power")
+	n := fs.Float64("n", 1e6, "input size N")
+	alpha := fs.Float64("alpha", 2, "cost exponent (power only)")
+	p := fs.Int("p", 100, "platform size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var k core.WorkloadKind
+	switch strings.ToLower(*kind) {
+	case "linear":
+		k = core.Linear
+	case "loglinear", "sort":
+		k = core.LogLinear
+	case "power":
+		k = core.Power
+	default:
+		return fmt.Errorf("unknown workload kind %q", *kind)
+	}
+	v, err := core.Analyze(core.Workload{Kind: k, N: *n, Alpha: *alpha}, *p)
+	if err != nil {
+		return err
+	}
+	fmt.Println(v.String())
+	return nil
+}
+
+// runDemo smoke-runs every experiment with tiny settings.
+func runDemo(args []string) error {
+	fmt.Println("=== nonlinear ===")
+	if err := runNonLinear([]string{"-ps", "2,10,100"}); err != nil {
+		return err
+	}
+	fmt.Println("\n=== sort ===")
+	if err := runSort([]string{"-trials", "5"}); err != nil {
+		return err
+	}
+	fmt.Println("\n=== rho ===")
+	if err := runRho(nil); err != nil {
+		return err
+	}
+	fmt.Println("\n=== partition ===")
+	if err := runPartition([]string{"-trials", "10"}); err != nil {
+		return err
+	}
+	fmt.Println("\n=== outer ===")
+	if err := runOuter([]string{"-p", "8"}); err != nil {
+		return err
+	}
+	fmt.Println("\n=== matmul ===")
+	if err := runMatMul([]string{"-n", "48"}); err != nil {
+		return err
+	}
+	fmt.Println("\n=== mapreduce ===")
+	if err := runMapReduce([]string{"-demo", "8"}); err != nil {
+		return err
+	}
+	fmt.Println("\n=== fig2 ===")
+	if err := runFig2([]string{"-p", "5", "-w", "40", "-h", "12"}); err != nil {
+		return err
+	}
+	fmt.Println("\n=== affinity ===")
+	if err := runAffinity([]string{"-p", "6", "-g", "20"}); err != nil {
+		return err
+	}
+	fmt.Println("\n=== bottleneck ===")
+	if err := runBottleneck([]string{"-p", "10"}); err != nil {
+		return err
+	}
+	fmt.Println("\n=== mrdlt ===")
+	if err := runMRDLT([]string{"-p", "6"}); err != nil {
+		return err
+	}
+	fmt.Println("\n=== fig4 (reduced) ===")
+	if err := runFig4([]string{"-trials", "10", "-pmax", "50"}); err != nil {
+		return err
+	}
+	fmt.Println("\n=== analyze ===")
+	return runAnalyze(nil)
+}
+
+// parseFloats parses "1,2.5,3".
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseInts parses "1,2,3".
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad int %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

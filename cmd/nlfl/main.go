@@ -1,0 +1,97 @@
+// Command nlfl reproduces the experiments of "Non-Linear Divisible Loads:
+// There is No Free Lunch" (Beaumont, Larchevêque, Marchal — IPDPS 2013 /
+// INRIA RR-8170) from the command line.
+//
+// Usage:
+//
+//	nlfl <command> [flags]
+//
+// Commands:
+//
+//	fig4       Figure 4 panels: ratio-to-lower-bound vs processor count
+//	nonlinear  Section 2: unprocessed-work fractions for α-power loads
+//	sort       Section 3: sample sort scaling and bucket concentration
+//	rho        Section 4.1.3: Comm_hom/Comm_het vs heterogeneity factor
+//	partition  Section 4.1.2: PERI-SUM partitioner quality
+//	outer      Section 4.1: one platform, three strategies, full detail
+//	matmul     Section 4.2: layout communication volumes on a real product
+//	mapreduce  Sections 1.1/4: MapReduce distribution comparison + demo job
+//	analyze    The core divisibility verdict for a workload
+//	demo       Run every experiment with small settings (smoke test)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// command wires a name to its runner and a one-line description.
+type command struct {
+	name string
+	desc string
+	run  func(args []string) error
+}
+
+func commands() []command {
+	return []command{
+		{"fig4", "reproduce a Figure 4 panel (a: homogeneous, b: uniform, c: lognormal)", runFig4},
+		{"nonlinear", "Section 2 unprocessed-work fraction table", runNonLinear},
+		{"sort", "Section 3 sample-sort scaling table", runSort},
+		{"rho", "Section 4.1.3 ρ sweep over the bimodal platform", runRho},
+		{"partition", "Section 4.1.2 PERI-SUM quality sweep", runPartition},
+		{"outer", "Section 4.1 strategies on one random platform", runOuter},
+		{"matmul", "Section 4.2 layout volumes on a verified product", runMatMul},
+		{"mapreduce", "MapReduce distribution comparison and demo job", runMapReduce},
+		{"fig2", "draw the Heterogeneous Blocks footprints (Figure 2)", runFig2},
+		{"bottleneck", "makespan impact of link bandwidth on the three strategies", runBottleneck},
+		{"mrdlt", "divisible MapReduce scheduling (the linear case that works)", runMRDLT},
+		{"polymul", "polynomial multiplication: algorithm choice flips the verdict", runPolymul},
+		{"adaptivity", "static DLT vs demand-driven under a mid-run slowdown", runAdaptivity},
+		{"gantt", "draw linear vs non-linear schedule timelines", runGantt},
+		{"tree", "multi-level tree DLT: equivalent-processor reduction", runTree},
+		{"returns", "result collection (FIFO vs LIFO) — the §1.2 exclusion restored", runReturns},
+		{"affinity", "the conclusion's affinity-aware demand-driven scheduler", runAffinity},
+		{"analyze", "divisibility verdict for a workload", runAnalyze},
+		{"compare", "diff two saved JSON result records", runCompare},
+		{"all", "run every experiment with paper settings and save JSON records", runAll},
+		{"demo", "run every experiment with small settings", runDemo},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nlfl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 || args[0] == "help" || args[0] == "-h" || args[0] == "--help" {
+		usage()
+		return nil
+	}
+	for _, c := range commands() {
+		if c.name == args[0] {
+			return c.run(args[1:])
+		}
+	}
+	usage()
+	return fmt.Errorf("unknown command %q", args[0])
+}
+
+func usage() {
+	fmt.Println("nlfl — Non-Linear Divisible Loads: There is No Free Lunch (reproduction)")
+	fmt.Println("\ncommands:")
+	for _, c := range commands() {
+		fmt.Printf("  %-10s %s\n", c.name, c.desc)
+	}
+	fmt.Println("\nrun `nlfl <command> -h` for the command's flags")
+}
+
+// newFlagSet builds a flag set that returns errors instead of exiting.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stdout)
+	return fs
+}

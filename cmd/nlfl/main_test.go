@@ -1,0 +1,186 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout while f runs and returns what was printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	return out, runErr
+}
+
+func TestCLISubcommands(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want []string // substrings that must appear
+	}{
+		{"help", []string{"help"}, []string{"commands:", "fig4", "affinity"}},
+		{"nonlinear", []string{"nonlinear", "-ps", "2,10"}, []string{"no free lunch", "0.9"}},
+		{"analyze", []string{"analyze", "-kind", "power", "-alpha", "2", "-p", "100"},
+			[]string{"not-divisible", "0.9900"}},
+		{"analyze sort", []string{"analyze", "-kind", "sort", "-n", "1048576", "-p", "32"},
+			[]string{"almost-divisible"}},
+		{"rho", []string{"rho", "-ks", "1,16"}, []string{"measured ρ", "3.4"}},
+		{"partition", []string{"partition", "-trials", "3"}, []string{"Ĉ/LB", "uniform[1,100]"}},
+		{"outer", []string{"outer", "-p", "6"}, []string{"hom/k", "het:", "plan for"}},
+		{"matmul", []string{"matmul", "-n", "32"}, []string{"naive kernel: true", "block-cyclic", "rect"}},
+		{"mapreduce", []string{"mapreduce", "-demo", "6"}, []string{"naive-pairs", "correct=true"}},
+		{"fig2", []string{"fig2", "-p", "4", "-w", "24", "-h", "8"}, []string{"half-perimeter", "+"}},
+		{"affinity", []string{"affinity", "-p", "4", "-g", "10"},
+			[]string{"no-cache", "cache", "affinity", "granularities"}},
+		{"fig4 small", []string{"fig4", "-trials", "3", "-pmax", "20"},
+			[]string{"Comm_het", "Comm_hom/k"}},
+		{"fig4 csv", []string{"fig4", "-trials", "2", "-pmax", "10", "-csv"},
+			[]string{"x,Comm_het"}},
+		{"sort", []string{"sort", "-trials", "2"}, []string{"Theorem B.4", "log p/log N"}},
+		{"bottleneck", []string{"bottleneck", "-p", "6"}, []string{"bandwidth", "Comm_hom/k"}},
+		{"mrdlt", []string{"mrdlt", "-p", "4"}, []string{"equal split", "optimized", "speedup"}},
+		{"polymul", []string{"polymul", "-n", "64"}, []string{"schoolbook", "karatsuba", "fft", "almost-divisible"}},
+		{"adaptivity", []string{"adaptivity", "-p", "4", "-blocks", "64"},
+			[]string{"residual speed", "static DLT", "demand-driven"}},
+		{"gantt", []string{"gantt", "-p", "4", "-w", "40"}, []string{"#", "accomplishes"}},
+		{"tree", []string{"tree", "-depth", "2", "-fanout", "2"},
+			[]string{"nodes", "topology-free", "α=2"}},
+		{"returns", []string{"returns", "-trials", "20"},
+			[]string{"FIFO", "LIFO", "dominates"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, err := capture(t, func() error { return run(c.args) })
+			if err != nil {
+				t.Fatalf("run(%v): %v", c.args, err)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, truncate(out, 800))
+				}
+			}
+		})
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		{"nope"},
+		{"fig4", "-dist", "bogus"},
+		{"nonlinear", "-alphas", "x"},
+		{"nonlinear", "-ps", "x"},
+		{"analyze", "-kind", "bogus"},
+		{"rho", "-p", "7"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestCLIFlagHelpDoesNotError(t *testing.T) {
+	// flag.ContinueOnError returns flag.ErrHelp for -h; the command should
+	// surface it as an error without panicking.
+	_, err := capture(t, func() error { return run([]string{"fig4", "-h"}) })
+	if err == nil {
+		t.Log("fig4 -h returned nil (accepted)") // flag prints usage either way
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+func TestCLISaveAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	a := dir + "/a.json"
+	b := dir + "/b.json"
+	if _, err := capture(t, func() error {
+		return run([]string{"fig4", "-trials", "2", "-pmax", "10", "-out", a})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"fig4", "-trials", "2", "-pmax", "10", "-out", b})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return run([]string{"compare", a, b}) })
+	if err != nil {
+		t.Fatalf("identical records should compare clean: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "agree") {
+		t.Errorf("missing agreement message:\n%s", out)
+	}
+	// A different run must be detected.
+	c := dir + "/c.json"
+	if _, err := capture(t, func() error {
+		return run([]string{"fig4", "-trials", "3", "-pmax", "10", "-out", c})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error { return run([]string{"compare", "-tol", "0.0001", a, c}) }); err == nil {
+		t.Error("differing records should fail the comparison")
+	}
+	// Usage errors.
+	if _, err := capture(t, func() error { return run([]string{"compare", a}) }); err == nil {
+		t.Error("missing operand should fail")
+	}
+	if _, err := capture(t, func() error { return run([]string{"compare", a, dir + "/absent.json"}) }); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestCLIAll(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, func() error {
+		return run([]string{"all", "-outdir", dir, "-trials", "3"})
+	})
+	if err != nil {
+		t.Fatalf("all: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"e1-nonlinear.json", "fig4-uniform.json", "e12-partition-quality.json",
+		"ext-affinity.json", "ext-bottleneck.json",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("all output missing %q", want)
+		}
+		if _, err := os.Stat(dir + "/" + want); err != nil {
+			t.Errorf("record %s not written: %v", want, err)
+		}
+	}
+	// The saved records must load and self-compare clean.
+	if _, err := capture(t, func() error {
+		return run([]string{"compare", dir + "/e6-rho.json", dir + "/e6-rho.json"})
+	}); err != nil {
+		t.Errorf("self-compare failed: %v", err)
+	}
+}

@@ -1,0 +1,56 @@
+// Nonlinear demonstrates the paper's headline negative result (Section 2):
+// a workload of cost N^α (α > 1) cannot be scheduled as a divisible load —
+// an optimal one-phase distribution performs a vanishing fraction of the
+// work as the platform grows, no matter how cleverly the chunk sizes are
+// optimized.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nlfl/internal/dessim"
+	"nlfl/internal/nldlt"
+	"nlfl/internal/platform"
+)
+
+func main() {
+	const n = 1000.0
+	load := nldlt.Load{N: n, Alpha: 2}
+
+	fmt.Println("A quadratic load of N=1000 elements (total work N² = 10⁶) on growing platforms:")
+	fmt.Println()
+	fmt.Printf("%6s  %12s  %12s  %14s\n", "P", "makespan", "work done", "fraction undone")
+	for _, p := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		pl, err := platform.Homogeneous(p, 1, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := nldlt.OptimalParallel(pl, load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d  %12.4g  %12.4g  %14.4f\n",
+			p, res.Makespan, res.WorkDone(), 1-res.WorkFraction())
+	}
+
+	fmt.Println("\nThe makespan plummets — but only because the distributed chunks no longer")
+	fmt.Println("add up to the full computation: the undone fraction 1-1/P^(α-1) goes to 1.")
+
+	// Cross-check one solution on the discrete-event simulator and show
+	// the timeline.
+	pl, err := platform.Homogeneous(6, 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := nldlt.OptimalOnePort(pl, load, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tl, err := dessim.RunSingleRound(pl, res.Chunks(), dessim.OnePort)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\none-port single-installment schedule on 6 workers (simulated makespan %.4g):\n\n", tl.Makespan)
+	fmt.Print(tl.Gantt(64))
+}

@@ -1,0 +1,51 @@
+// Polynomial demonstrates that divisibility is a property of the
+// *algorithm*, not the application: polynomial multiplication (the
+// workload of the paper's refuted reference [20]) is a non-divisible
+// quadratic load under the schoolbook method, still non-divisible under
+// Karatsuba, and an almost-divisible N·log N load under FFT convolution.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"nlfl/internal/polymul"
+	"nlfl/internal/stats"
+)
+
+func main() {
+	const n = 1024
+	r := stats.NewRNG(7)
+	a := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, n)
+	b := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, n)
+
+	ref, err := polymul.Naive(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multiplying two degree-%d polynomials three ways:\n\n", n-1)
+	for _, algo := range []polymul.Algorithm{polymul.AlgoNaive, polymul.AlgoKaratsuba, polymul.AlgoFFT} {
+		got, err := polymul.Multiply(a, b, algo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		worst := 0.0
+		for i := range ref {
+			if d := math.Abs(got[i] - ref[i]); d > worst {
+				worst = d
+			}
+		}
+		v, err := polymul.Verdict(algo, 1<<22, 128)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s agree within %.1e — verdict on 128 workers: %s (undone %.3f)\n",
+			algo, worst, v.Class, v.UndoneFraction)
+	}
+
+	fmt.Println()
+	fmt.Println("The schoolbook route leaves >99% of the work on the table no matter how")
+	fmt.Println("the input is chunked (Section 2); switching to FFT convolution turns the")
+	fmt.Println("same product into a sorting-like load that parallelizes almost perfectly.")
+}

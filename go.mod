@@ -1,0 +1,3 @@
+module nlfl
+
+go 1.22

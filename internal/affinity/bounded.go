@@ -1,0 +1,140 @@
+package affinity
+
+import (
+	"fmt"
+	"math"
+
+	"nlfl/internal/platform"
+)
+
+// The Run policies assume workers cache every chunk forever — an
+// unlimited-memory idealization. RunBounded caps each worker's cache at
+// `capacity` chunks (a and b chunks count alike) with LRU eviction: the
+// affinity benefit then interpolates between the no-cache and
+// unlimited-cache extremes as memory grows, quantifying how much RAM the
+// conclusion's proposal actually needs.
+
+// lruCache is a fixed-capacity LRU set of chunk ids.
+type lruCache struct {
+	capacity int
+	stamp    int64
+	last     map[int]int64
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{capacity: capacity, last: make(map[int]int64, capacity)}
+}
+
+// has reports membership without touching recency.
+func (c *lruCache) has(id int) bool {
+	_, ok := c.last[id]
+	return ok
+}
+
+// touch inserts/refreshes id, evicting the least recently used entry when
+// over capacity.
+func (c *lruCache) touch(id int) {
+	c.stamp++
+	c.last[id] = c.stamp
+	if len(c.last) <= c.capacity {
+		return
+	}
+	oldest, oldestStamp := -1, int64(math.MaxInt64)
+	for k, s := range c.last {
+		if s < oldestStamp {
+			oldest, oldestStamp = k, s
+		}
+	}
+	delete(c.last, oldest)
+}
+
+// RunBounded is Run with PolicyAffinity semantics and per-worker LRU
+// caches of `capacity` chunks. capacity = 0 degenerates to the no-cache
+// accounting; capacity ≥ 2g reproduces PolicyAffinity exactly (a worker
+// can at most ever hold 2g distinct chunks).
+func RunBounded(pl *platform.Platform, n float64, g, capacity int, seed int64) (Result, error) {
+	_ = seed // deterministic; kept for signature stability with callers
+	if g <= 0 {
+		return Result{}, fmt.Errorf("affinity: grid must be positive")
+	}
+	if capacity < 0 {
+		return Result{}, fmt.Errorf("affinity: negative capacity")
+	}
+	if n <= 0 || math.IsNaN(n) {
+		return Result{}, fmt.Errorf("affinity: invalid size %v", n)
+	}
+	p := pl.P()
+	chunk := n / float64(g)
+	blockWork := chunk * chunk
+	taken := make([]bool, g*g)
+	remaining := g * g
+	// Chunk ids: a-chunk i → i; b-chunk j → g+j.
+	caches := make([]*lruCache, p)
+	for w := range caches {
+		caches[w] = newLRU(capacity)
+	}
+	free := make([]float64, p)
+	busy := make([]float64, p)
+	counts := make([]int, p)
+	volume := 0.0
+
+	need := func(w, i, j int) float64 {
+		d := 0.0
+		if capacity == 0 || !caches[w].has(i) {
+			d += chunk
+		}
+		if capacity == 0 || !caches[w].has(g+j) {
+			d += chunk
+		}
+		return d
+	}
+
+	for remaining > 0 {
+		w := 0
+		for cand := 1; cand < p; cand++ {
+			if free[cand] < free[w] {
+				w = cand
+			}
+		}
+		best, bestNeed := -1, math.Inf(1)
+		for idx := 0; idx < g*g; idx++ {
+			if taken[idx] {
+				continue
+			}
+			d := need(w, idx/g, idx%g)
+			if d < bestNeed {
+				best, bestNeed = idx, d
+				if d == 0 {
+					break
+				}
+			}
+		}
+		taken[best] = true
+		remaining--
+		i, j := best/g, best%g
+		volume += bestNeed
+		if capacity > 0 {
+			caches[w].touch(i)
+			caches[w].touch(g + j)
+		}
+		dur := blockWork / pl.Worker(w).Speed
+		free[w] += dur
+		busy[w] += dur
+		counts[w]++
+	}
+
+	lb := 0.0
+	for _, x := range pl.NormalizedSpeeds() {
+		lb += math.Sqrt(x)
+	}
+	lb *= 2 * n
+	return Result{
+		Policy:          PolicyAffinity,
+		Grid:            g,
+		Volume:          volume,
+		LowerBound:      lb,
+		Ratio:           volume / lb,
+		Imbalance:       imbalance(busy),
+		BlocksPerWorker: counts,
+	}, nil
+}

@@ -1,0 +1,150 @@
+// Package core is the top-level API of the library: it operationalizes
+// the paper's contribution as a planner that (i) classifies a workload's
+// divisibility — the Section 2 "no free lunch" test — and (ii) produces
+// heterogeneity-aware data-distribution plans for the workloads that need
+// them (outer product, matrix multiplication) or DLT schedules for the
+// ones that don't (linear and almost-linear loads).
+//
+// The three verdicts mirror the paper's structure:
+//
+//   - Divisible (α = 1): classical DLT applies; use the closed-form
+//     optimal allocations of package dlt.
+//   - AlmostDivisible (N·log N): a cheap pre-processing (sample sort's
+//     splitter selection) turns the load into a divisible one; use
+//     package samplesort.
+//   - NotDivisible (N^α, α > 1): no chunking of the *input* performs more
+//     than a vanishing fraction 1/P^(α-1) of the work. The data must be
+//     replicated, and on heterogeneous platforms the replication layout
+//     should come from the PERI-SUM partitioner (packages partition,
+//     outer, matmul).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nlfl/internal/nldlt"
+	"nlfl/internal/samplesort"
+)
+
+// Divisibility classifies a workload for DLT purposes.
+type Divisibility int
+
+// Divisibility verdicts.
+const (
+	// Divisible marks linear-cost loads: DLT applies directly.
+	Divisible Divisibility = iota
+	// AlmostDivisible marks N·log N loads: DLT applies after a
+	// pre-processing phase whose share of the work vanishes with N.
+	AlmostDivisible
+	// NotDivisible marks super-linear loads: no input chunking works;
+	// replicate data and partition the computation domain instead.
+	NotDivisible
+)
+
+// String implements fmt.Stringer.
+func (d Divisibility) String() string {
+	switch d {
+	case Divisible:
+		return "divisible"
+	case AlmostDivisible:
+		return "almost-divisible"
+	case NotDivisible:
+		return "not-divisible"
+	default:
+		return fmt.Sprintf("divisibility(%d)", int(d))
+	}
+}
+
+// WorkloadKind names the cost model of a workload.
+type WorkloadKind int
+
+// Supported workload cost models.
+const (
+	// Linear is cost N (filtering, streaming, text processing).
+	Linear WorkloadKind = iota
+	// LogLinear is cost N·log N (sorting).
+	LogLinear
+	// Power is cost N^α with α > 1 (outer product α=2, matmul α=3 over
+	// its N... the α is over the *input size*; see Workload.Alpha).
+	Power
+)
+
+// Workload describes a computation by input size and cost model.
+type Workload struct {
+	Kind WorkloadKind
+	// N is the input data size (elements).
+	N float64
+	// Alpha is the cost exponent for Kind == Power.
+	Alpha float64
+}
+
+// Verdict is the outcome of the divisibility analysis for one workload on
+// a platform of a given size.
+type Verdict struct {
+	Workload Workload
+	P        int
+	Class    Divisibility
+	// UndoneFraction is the share of the total work an optimal one-phase
+	// DLT distribution leaves undone: 0 for linear loads, log p/log N for
+	// sorting, 1 - 1/P^(α-1) for power loads.
+	UndoneFraction float64
+	// Advice is a one-line recommendation.
+	Advice string
+}
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	return fmt.Sprintf("%s (N=%g, p=%d): %s, undone fraction %.4f — %s",
+		kindName(v.Workload.Kind), v.Workload.N, v.P, v.Class, v.UndoneFraction, v.Advice)
+}
+
+func kindName(k WorkloadKind) string {
+	switch k {
+	case Linear:
+		return "linear"
+	case LogLinear:
+		return "N·logN"
+	case Power:
+		return "power"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Analyze classifies a workload on a p-worker platform — the paper's
+// Section 2/3 analysis as a function.
+func Analyze(w Workload, p int) (Verdict, error) {
+	if p < 1 {
+		return Verdict{}, fmt.Errorf("core: need at least one worker, got %d", p)
+	}
+	if w.N <= 0 || math.IsNaN(w.N) || math.IsInf(w.N, 0) {
+		return Verdict{}, fmt.Errorf("core: invalid input size %v", w.N)
+	}
+	v := Verdict{Workload: w, P: p}
+	switch w.Kind {
+	case Linear:
+		v.Class = Divisible
+		v.UndoneFraction = 0
+		v.Advice = "use classical DLT (package dlt): optimal closed-form allocations exist"
+	case LogLinear:
+		v.Class = AlmostDivisible
+		v.UndoneFraction = samplesort.NonDivisibleFraction(int(w.N), p)
+		v.Advice = "pre-process with sample-sort splitter selection (package samplesort), then DLT"
+	case Power:
+		if w.Alpha < 1 || math.IsNaN(w.Alpha) {
+			return Verdict{}, fmt.Errorf("core: power workload needs α ≥ 1, got %v", w.Alpha)
+		}
+		if w.Alpha == 1 {
+			v.Class = Divisible
+			v.Advice = "α=1 is a linear load; use classical DLT"
+			break
+		}
+		v.Class = NotDivisible
+		v.UndoneFraction = nldlt.UnprocessedFraction(p, w.Alpha)
+		v.Advice = "replicate data and partition the computation domain (packages partition, outer, matmul)"
+	default:
+		return Verdict{}, fmt.Errorf("core: unknown workload kind %d", w.Kind)
+	}
+	return v, nil
+}

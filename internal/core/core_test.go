@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nlfl/internal/platform"
+	"nlfl/internal/stats"
+)
+
+func TestAnalyzeLinear(t *testing.T) {
+	v, err := Analyze(Workload{Kind: Linear, N: 1e6}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Class != Divisible || v.UndoneFraction != 0 {
+		t.Errorf("linear verdict: %+v", v)
+	}
+	if !strings.Contains(v.String(), "divisible") {
+		t.Error("verdict rendering")
+	}
+}
+
+func TestAnalyzeSorting(t *testing.T) {
+	v, err := Analyze(Workload{Kind: LogLinear, N: 1 << 20}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Class != AlmostDivisible {
+		t.Errorf("verdict: %+v", v)
+	}
+	// log 32 / log 2^20 = 5/20.
+	if math.Abs(v.UndoneFraction-0.25) > 1e-12 {
+		t.Errorf("fraction = %v, want 0.25", v.UndoneFraction)
+	}
+}
+
+func TestAnalyzePower(t *testing.T) {
+	v, err := Analyze(Workload{Kind: Power, N: 1e4, Alpha: 2}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Class != NotDivisible {
+		t.Errorf("verdict: %+v", v)
+	}
+	if math.Abs(v.UndoneFraction-0.99) > 1e-12 {
+		t.Errorf("fraction = %v, want 0.99", v.UndoneFraction)
+	}
+	// α = 1 degrades to linear.
+	v1, err := Analyze(Workload{Kind: Power, N: 100, Alpha: 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Class != Divisible {
+		t.Errorf("α=1 verdict: %+v", v1)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(Workload{Kind: Linear, N: 10}, 0); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := Analyze(Workload{Kind: Linear, N: -1}, 2); err == nil {
+		t.Error("negative N should fail")
+	}
+	if _, err := Analyze(Workload{Kind: Power, N: 10, Alpha: 0.5}, 2); err == nil {
+		t.Error("α<1 should fail")
+	}
+	if _, err := Analyze(Workload{Kind: WorkloadKind(99), N: 10}, 2); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestDivisibilityStrings(t *testing.T) {
+	if Divisible.String() != "divisible" || NotDivisible.String() != "not-divisible" {
+		t.Error("names changed")
+	}
+	if Divisibility(9).String() == "" || kindName(WorkloadKind(9)) == "" {
+		t.Error("unknown values must render")
+	}
+}
+
+func TestPlanOuterProduct(t *testing.T) {
+	pl, err := platform.FromSpeeds([]float64{1, 1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	plan, err := PlanOuterProduct(pl, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Workers) != 4 {
+		t.Fatalf("workers = %d", len(plan.Workers))
+	}
+	shares := 0.0
+	for i, w := range plan.Workers {
+		if w.Worker != i {
+			t.Errorf("worker %d misindexed as %d", i, w.Worker)
+		}
+		if math.Abs(w.Rect.Area()-w.Share) > 1e-9 {
+			t.Errorf("worker %d rect area %v != share %v", i, w.Rect.Area(), w.Share)
+		}
+		shares += w.Share
+	}
+	if math.Abs(shares-1) > 1e-9 {
+		t.Errorf("shares sum to %v", shares)
+	}
+	if plan.Ratio() < 1 || plan.Ratio() > 1.75 {
+		t.Errorf("ratio = %v outside guarantee", plan.Ratio())
+	}
+	if plan.Savings() < 1 {
+		t.Errorf("savings = %v, heterogeneous plan should not lose to hom", plan.Savings())
+	}
+	if !strings.Contains(plan.String(), "plan for") {
+		t.Error("plan rendering")
+	}
+	if _, err := PlanOuterProduct(pl, -3); err == nil {
+		t.Error("negative N should fail")
+	}
+}
+
+func TestPlanMatMul(t *testing.T) {
+	pl, err := platform.FromSpeeds([]float64{1, 3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	plan, err := PlanMatMul(pl, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total volume must be n²(Ĉ-2): per-worker volumes sum to it.
+	sum := 0.0
+	for _, w := range plan.Workers {
+		if w.DataVolume < 0 {
+			t.Errorf("worker %d negative volume %v", w.Worker, w.DataVolume)
+		}
+		sum += w.DataVolume
+	}
+	if math.Abs(sum-plan.TotalVolume) > 1e-6 {
+		t.Errorf("volumes sum %v != total %v", sum, plan.TotalVolume)
+	}
+	if plan.TotalVolume < plan.LowerBound-1e-6 {
+		t.Errorf("total %v below LB %v", plan.TotalVolume, plan.LowerBound)
+	}
+}
+
+// Property: plans are feasible (shares = normalized speeds, volumes
+// positive, ratio within the 7/4 guarantee) on random platforms.
+func TestPlanProperty(t *testing.T) {
+	f := func(seed int64, np uint8) bool {
+		p := int(np%20) + 1
+		r := stats.NewRNG(seed)
+		pl, err := platform.Generate(p, stats.LogNormal{Mu: 0, Sigma: 1}, r)
+		if err != nil {
+			return false
+		}
+		plan, err := PlanOuterProduct(pl, 50)
+		if err != nil {
+			return false
+		}
+		xs := pl.NormalizedSpeeds()
+		for i, w := range plan.Workers {
+			if math.Abs(w.Share-xs[i]) > 1e-9 || w.DataVolume <= 0 {
+				return false
+			}
+		}
+		return plan.Ratio() >= 1-1e-9 && plan.Ratio() <= 1.75+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+
+	"nlfl/internal/core"
+	"nlfl/internal/platform"
+)
+
+// The Section 2 no-free-lunch test as a one-liner: a quadratic workload
+// on 100 workers leaves 99% of the work undone.
+func ExampleAnalyze() {
+	v, _ := core.Analyze(core.Workload{Kind: core.Power, N: 1e6, Alpha: 2}, 100)
+	fmt.Printf("%s, undone %.2f\n", v.Class, v.UndoneFraction)
+	// Output: not-divisible, undone 0.99
+}
+
+// Planning the outer product on a heterogeneous platform: one rectangle
+// per worker, area proportional to speed.
+func ExamplePlanOuterProduct() {
+	pl, _ := platform.FromSpeeds([]float64{1, 1, 2})
+	plan, _ := core.PlanOuterProduct(pl, 100)
+	for _, w := range plan.Workers {
+		fmt.Printf("P%d share=%.2f\n", w.Worker+1, w.Share)
+	}
+	// Output:
+	// P1 share=0.25
+	// P2 share=0.25
+	// P3 share=0.50
+}
+
+// Linear loads ARE divisible: the optimal DLT allocation beats the naive
+// equal split on heterogeneous platforms.
+func ExamplePlanLinear() {
+	pl, _ := platform.FromSpeeds([]float64{1, 9})
+	plan, _ := core.PlanLinear(pl, 100)
+	fmt.Printf("speedup over equal split: %.2f\n", plan.Speedup())
+	// Output: speedup over equal split: 1.40
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"nlfl/internal/matmul"
+)
+
+// ExecuteOuterProduct actually computes a̅ᵀ×b̅ following the plan: one
+// goroutine per worker fills exactly the cells of its rectangle, reading
+// only the a- and b-intervals the plan charges it for. It returns the
+// full product and the per-worker element reads (which must match the
+// plan's DataVolume accounting up to integer-grid rounding) — the
+// end-to-end anchor tying the communication model to real computation.
+func ExecuteOuterProduct(plan *Plan, a, b []float64) (*matmul.Matrix, []int, error) {
+	n := len(a)
+	if len(b) != n {
+		return nil, nil, fmt.Errorf("core: vector lengths %d and %d differ", n, len(b))
+	}
+	if n == 0 {
+		return nil, nil, fmt.Errorf("core: empty vectors")
+	}
+	out := matmul.New(n, n)
+	reads := make([]int, len(plan.Workers))
+	var wg sync.WaitGroup
+	for idx := range plan.Workers {
+		w := plan.Workers[idx]
+		// Rectangle → index ranges: x spans b (columns), y spans a (rows).
+		// Rounding keeps shared rectangle boundaries on the same integer
+		// grid line, so the ranges tile the index space exactly.
+		rowLo := int(math.Round(w.Rect.Y * float64(n)))
+		rowHi := int(math.Round((w.Rect.Y + w.Rect.H) * float64(n)))
+		colLo := int(math.Round(w.Rect.X * float64(n)))
+		colHi := int(math.Round((w.Rect.X + w.Rect.W) * float64(n)))
+		if rowHi > n {
+			rowHi = n
+		}
+		if colHi > n {
+			colHi = n
+		}
+		reads[idx] = (rowHi - rowLo) + (colHi - colLo)
+		wg.Add(1)
+		go func(rowLo, rowHi, colLo, colHi int) {
+			defer wg.Done()
+			for i := rowLo; i < rowHi; i++ {
+				av := a[i]
+				for j := colLo; j < colHi; j++ {
+					out.Set(i, j, av*b[j])
+				}
+			}
+		}(rowLo, rowHi, colLo, colHi)
+	}
+	wg.Wait()
+	return out, reads, nil
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"nlfl/internal/matmul"
+	"nlfl/internal/platform"
+	"nlfl/internal/stats"
+)
+
+func TestExecuteOuterProductMatchesKernel(t *testing.T) {
+	r := stats.NewRNG(41)
+	for _, p := range []int{1, 3, 7} {
+		pl, err := platform.Generate(p, stats.Uniform{Lo: 1, Hi: 10}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 60
+		plan, err := PlanOuterProduct(pl, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, n)
+		b := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, n)
+		got, reads, err := ExecuteOuterProduct(plan, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := matmul.VectorOuter(a, b)
+		if !want.Equal(got, 1e-12) {
+			t.Fatalf("p=%d: plan execution disagrees with the kernel", p)
+		}
+		// Element reads track the plan's volume accounting within grid
+		// rounding: worker i reads (w+h)·n ± p elements.
+		for i, rd := range reads {
+			want := plan.Workers[i].DataVolume
+			if math.Abs(float64(rd)-want) > float64(2*p+2) {
+				t.Errorf("p=%d worker %d: %d reads vs planned %v", p, i, rd, want)
+			}
+		}
+	}
+}
+
+func TestExecuteOuterProductValidation(t *testing.T) {
+	pl, _ := platform.Homogeneous(2, 1, 1)
+	plan, err := PlanOuterProduct(pl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ExecuteOuterProduct(plan, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, _, err := ExecuteOuterProduct(plan, nil, nil); err == nil {
+		t.Error("empty vectors should fail")
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"nlfl/internal/platform"
+)
+
+func TestPlanLinear(t *testing.T) {
+	pl, err := platform.New([]platform.Worker{
+		{Speed: 1, Bandwidth: 1},
+		{Speed: 4, Bandwidth: 2},
+		{Speed: 2, Bandwidth: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanLinear(pl, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, f := range plan.Fractions {
+		if f <= 0 {
+			t.Errorf("linear plans use every worker, got share %v", f)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %v", sum)
+	}
+	if plan.Speedup() < 1 {
+		t.Errorf("optimal allocation should not lose to equal split: %v", plan.Speedup())
+	}
+	// Heterogeneous platform → strict improvement.
+	if plan.Speedup() < 1.01 {
+		t.Errorf("expected a material speedup on this platform, got %v", plan.Speedup())
+	}
+}
+
+func TestPlanLinearHomogeneous(t *testing.T) {
+	pl, _ := platform.Homogeneous(5, 1, 1)
+	plan, err := PlanLinear(pl, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Speedup()-1) > 1e-9 {
+		t.Errorf("homogeneous speedup = %v, want 1", plan.Speedup())
+	}
+}
+
+func TestPlanSort(t *testing.T) {
+	pl, err := platform.FromSpeeds([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 20
+	plain, err := PlanSort(pl, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Shares[0]-0.25) > 1e-12 || math.Abs(plain.Shares[1]-0.75) > 1e-12 {
+		t.Errorf("speed-proportional shares = %v", plain.Shares)
+	}
+	if plain.Oversampling != 400 {
+		t.Errorf("oversampling = %d, want log²(2^20) = 400", plain.Oversampling)
+	}
+	if math.Abs(plain.NonDivisibleFraction-0.05) > 1e-12 {
+		t.Errorf("fraction = %v, want log 2/log 2^20 = 0.05", plain.NonDivisibleFraction)
+	}
+	balanced, err := PlanSort(pl, n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !balanced.Balanced || balanced.Shares[0] <= plain.Shares[0] {
+		t.Errorf("balanced plan should give the slow worker more: %v vs %v",
+			balanced.Shares[0], plain.Shares[0])
+	}
+	if _, err := PlanSort(pl, 0, false); err == nil {
+		t.Error("n=0 should fail")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"nlfl/internal/platform"
+)
+
+// Recommendation bundles the verdict with the concrete plan the verdict
+// calls for — the library's single entry point: give it a workload and a
+// platform, get back what to do.
+type Recommendation struct {
+	Verdict Verdict
+	// Exactly one of the following is set, matching the verdict class.
+	Linear *LinearPlan
+	Sort   *SortPlan
+	Outer  *Plan
+}
+
+// String renders the recommendation.
+func (r Recommendation) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, r.Verdict.String())
+	switch {
+	case r.Linear != nil:
+		fmt.Fprintf(&b, "plan: optimal DLT shares %.3f (%.2f× faster than equal split)\n",
+			r.Linear.Fractions, r.Linear.Speedup())
+	case r.Sort != nil:
+		fmt.Fprintf(&b, "plan: sample sort with s=%d, bucket shares %.3f (non-divisible fraction %.3f)\n",
+			r.Sort.Oversampling, r.Sort.Shares, r.Sort.NonDivisibleFraction)
+	case r.Outer != nil:
+		fmt.Fprintf(&b, "plan: PERI-SUM rectangles, volume %.4g = %.2f×LB (%.1f× less than homogeneous blocks)\n",
+			r.Outer.TotalVolume, r.Outer.Ratio(), r.Outer.Savings())
+	}
+	return b.String()
+}
+
+// Recommend analyzes the workload on the platform and attaches the
+// appropriate plan: the classical DLT allocation for linear loads, the
+// sample-sort bucket plan for N·log N loads, and the replicate-and-
+// partition rectangle plan for α-power loads.
+func Recommend(pl *platform.Platform, w Workload) (Recommendation, error) {
+	v, err := Analyze(w, pl.P())
+	if err != nil {
+		return Recommendation{}, err
+	}
+	rec := Recommendation{Verdict: v}
+	switch v.Class {
+	case Divisible:
+		plan, err := PlanLinear(pl, w.N)
+		if err != nil {
+			return Recommendation{}, err
+		}
+		rec.Linear = &plan
+	case AlmostDivisible:
+		plan, err := PlanSort(pl, int(w.N), false)
+		if err != nil {
+			return Recommendation{}, err
+		}
+		rec.Sort = &plan
+	case NotDivisible:
+		plan, err := PlanOuterProduct(pl, w.N)
+		if err != nil {
+			return Recommendation{}, err
+		}
+		rec.Outer = plan
+	default:
+		return Recommendation{}, fmt.Errorf("core: unhandled verdict %v", v.Class)
+	}
+	return rec, nil
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"nlfl/internal/platform"
+)
+
+func TestRecommendDispatch(t *testing.T) {
+	pl, err := platform.FromSpeeds([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		w    Workload
+		want func(r Recommendation) bool
+	}{
+		{"linear", Workload{Kind: Linear, N: 1000},
+			func(r Recommendation) bool { return r.Linear != nil && r.Sort == nil && r.Outer == nil }},
+		{"sorting", Workload{Kind: LogLinear, N: 1 << 16},
+			func(r Recommendation) bool { return r.Sort != nil && r.Linear == nil && r.Outer == nil }},
+		{"quadratic", Workload{Kind: Power, N: 1000, Alpha: 2},
+			func(r Recommendation) bool { return r.Outer != nil && r.Linear == nil && r.Sort == nil }},
+		{"alpha=1 collapses to linear", Workload{Kind: Power, N: 1000, Alpha: 1},
+			func(r Recommendation) bool { return r.Linear != nil }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec, err := Recommend(pl, c.w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.want(rec) {
+				t.Errorf("wrong plan attached: %+v", rec)
+			}
+			if rec.String() == "" || !strings.Contains(rec.String(), "plan:") {
+				t.Errorf("rendering missing plan line:\n%s", rec.String())
+			}
+		})
+	}
+}
+
+func TestRecommendErrors(t *testing.T) {
+	pl, _ := platform.Homogeneous(2, 1, 1)
+	if _, err := Recommend(pl, Workload{Kind: Power, N: 100, Alpha: 0.2}); err == nil {
+		t.Error("bad alpha should fail")
+	}
+	if _, err := Recommend(pl, Workload{Kind: WorkloadKind(9), N: 100}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}

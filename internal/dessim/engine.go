@@ -1,0 +1,151 @@
+// Package dessim is a small discrete-event simulator for master–worker
+// star platforms.
+//
+// The paper's model (Section 1.2) is analytically simple — parallel
+// master→worker links, no return messages, single round — but several of
+// the reproduced experiments need an executable model: the demand-driven
+// chunk distribution behind the Homogeneous Blocks strategy (Section 4.1.1),
+// the one-port sequential-distribution baseline of the non-linear DLT
+// literature (Section 2's references [31–35]), and multi-round linear DLT.
+// This package provides the event engine and the star-network executor
+// they share.
+package dessim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// event is a scheduled callback.
+type event struct {
+	time   float64
+	seq    int64 // FIFO tie-break for equal times
+	action func()
+}
+
+// eventQueue is a min-heap on (time, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) {
+	*q = append(*q, x.(*event))
+}
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event core: a virtual clock plus a time-ordered
+// queue of callbacks. Events scheduled at equal times run in scheduling
+// order (FIFO), making simulations fully deterministic.
+type Engine struct {
+	now   float64
+	queue eventQueue
+	seq   int64
+	steps int64
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// At schedules action at absolute time t. Scheduling in the past (t < Now)
+// panics: it would violate causality.
+func (e *Engine) At(t float64, action func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("dessim: scheduling at %v before now=%v", t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic("dessim: scheduling at NaN time")
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{time: t, seq: e.seq, action: action})
+}
+
+// After schedules action d time units from now (d must be >= 0).
+func (e *Engine) After(d float64, action func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("dessim: negative delay %v", d))
+	}
+	e.At(e.now+d, action)
+}
+
+// Run executes events until the queue drains and returns the final clock
+// value (the makespan of whatever was simulated).
+func (e *Engine) Run() float64 {
+	for e.queue.Len() > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes events with time ≤ t, then sets the clock to t (if it
+// is not already past it) and returns the number of events executed.
+func (e *Engine) RunUntil(t float64) int64 {
+	n := int64(0)
+	for e.queue.Len() > 0 && e.queue[0].time <= t {
+		e.step()
+		n++
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.time
+	e.steps++
+	ev.action()
+}
+
+// Resource models an exclusive serially-reusable resource (a CPU, or the
+// master's outgoing port in the one-port model). Book reserves the
+// earliest interval of the given duration starting no sooner than t and
+// returns its bounds.
+type Resource struct {
+	freeAt float64
+	busy   float64
+}
+
+// Book reserves [start, start+dur) with start = max(t, next free time).
+func (r *Resource) Book(t, dur float64) (start, end float64) {
+	if dur < 0 {
+		panic(fmt.Sprintf("dessim: negative booking duration %v", dur))
+	}
+	start = t
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = start + dur
+	r.freeAt = end
+	r.busy += dur
+	return start, end
+}
+
+// FreeAt returns the time the resource next becomes available.
+func (r *Resource) FreeAt() float64 { return r.freeAt }
+
+// BusyTime returns the cumulative booked duration.
+func (r *Resource) BusyTime() float64 { return r.busy }

@@ -1,0 +1,140 @@
+package dessim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 3 {
+		t.Errorf("final time = %v, want 3", end)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if e.Steps() != 3 {
+		t.Errorf("steps = %d", e.Steps())
+	}
+}
+
+func TestEngineFIFOAtEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.At(1, func() {
+		times = append(times, e.Now())
+		e.After(2, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	for _, tt := range []float64{1, 2, 3, 4, 5} {
+		e.At(tt, func() { ran++ })
+	}
+	n := e.RunUntil(3)
+	if n != 3 || ran != 3 {
+		t.Errorf("RunUntil executed %d/%d events, want 3", n, ran)
+	}
+	if e.Now() != 3 {
+		t.Errorf("now = %v, want 3", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", e.Pending())
+	}
+	// RunUntil past all events advances the clock.
+	e.RunUntil(10)
+	if e.Now() != 10 || e.Pending() != 0 {
+		t.Errorf("now=%v pending=%d", e.Now(), e.Pending())
+	}
+}
+
+func TestEnginePanicsOnCausalityViolation(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After should panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEnginePanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NaN time should panic")
+		}
+	}()
+	NewEngine().At(math.NaN(), func() {})
+}
+
+func TestResourceBooking(t *testing.T) {
+	var r Resource
+	s, e := r.Book(0, 5)
+	if s != 0 || e != 5 {
+		t.Errorf("first booking = [%v,%v], want [0,5]", s, e)
+	}
+	// Second booking at t=2 must wait for the resource.
+	s, e = r.Book(2, 3)
+	if s != 5 || e != 8 {
+		t.Errorf("second booking = [%v,%v], want [5,8]", s, e)
+	}
+	// Booking after the free time starts immediately.
+	s, e = r.Book(10, 1)
+	if s != 10 || e != 11 {
+		t.Errorf("third booking = [%v,%v], want [10,11]", s, e)
+	}
+	if r.BusyTime() != 9 {
+		t.Errorf("busy = %v, want 9", r.BusyTime())
+	}
+	if r.FreeAt() != 11 {
+		t.Errorf("freeAt = %v, want 11", r.FreeAt())
+	}
+}
+
+func TestResourceNegativeDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative duration should panic")
+		}
+	}()
+	var r Resource
+	r.Book(0, -1)
+}

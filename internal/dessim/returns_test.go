@@ -1,0 +1,133 @@
+package dessim
+
+import (
+	"math"
+	"testing"
+
+	"nlfl/internal/platform"
+	"nlfl/internal/stats"
+)
+
+func TestReturnsHandDerived(t *testing.T) {
+	// Two unit workers, chunks of 4 data / 4 work, δ = 0.5 (2 result
+	// units each). Sends: w0 [0,4], w1 [4,8]; computes end at 8 and 12.
+	// FIFO returns: w0 at max(8, 0)=8 → [8,10]; w1 at max(12,10)=12 →
+	// [12,14]. Makespan 14.
+	p, err := platform.FromSpeeds([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := []Chunk{
+		{Worker: 0, Data: 4, Work: 4},
+		{Worker: 1, Data: 4, Work: 4},
+	}
+	tl, err := RunSingleRoundWithReturns(p, chunks, 0.5, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Makespan != 14 {
+		t.Errorf("FIFO makespan = %v, want 14", tl.Makespan)
+	}
+	// LIFO: w1 returns first at 12 → [12,14]; w0 at max(8,14)=14 →
+	// [14,16].
+	lifo, err := RunSingleRoundWithReturns(p, chunks, 0.5, LIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lifo.Makespan != 16 {
+		t.Errorf("LIFO makespan = %v, want 16", lifo.Makespan)
+	}
+}
+
+func TestReturnsZeroDeltaMatchesOnePort(t *testing.T) {
+	p, err := platform.FromSpeeds([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := []Chunk{
+		{Worker: 0, Data: 3, Work: 3},
+		{Worker: 1, Data: 3, Work: 3},
+		{Worker: 2, Data: 3, Work: 3},
+	}
+	plain, err := RunSingleRound(p, chunks, OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := RunSingleRoundWithReturns(p, chunks, 0, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Makespan-ret.Makespan) > 1e-12 {
+		t.Errorf("δ=0 should reduce to plain one-port: %v vs %v", ret.Makespan, plain.Makespan)
+	}
+}
+
+func TestReturnsNeitherOrderDominates(t *testing.T) {
+	// Classical DLT folklore: FIFO and LIFO each win on some instances.
+	// Search small random platforms for one win in each direction.
+	r := stats.NewRNG(17)
+	fifoWins, lifoWins := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		pn := 2 + r.Intn(4)
+		ws := make([]platform.Worker, pn)
+		for i := range ws {
+			ws[i] = platform.Worker{Speed: 0.3 + 4*r.Float64(), Bandwidth: 0.3 + 4*r.Float64()}
+		}
+		pl, err := platform.New(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunks := make([]Chunk, pn)
+		for i := range chunks {
+			d := 1 + 4*r.Float64()
+			chunks[i] = Chunk{Worker: i, Data: d, Work: d}
+		}
+		fifo, lifo, err := CompareReturnOrders(pl, chunks, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case fifo < lifo-1e-9:
+			fifoWins++
+		case lifo < fifo-1e-9:
+			lifoWins++
+		}
+	}
+	if fifoWins == 0 || lifoWins == 0 {
+		t.Errorf("expected both orders to win somewhere: fifo=%d lifo=%d", fifoWins, lifoWins)
+	}
+}
+
+func TestReturnsValidation(t *testing.T) {
+	p, _ := platform.Homogeneous(2, 1, 1)
+	if _, err := RunSingleRoundWithReturns(p, []Chunk{{Worker: 0, Data: 1, Work: 1}}, -0.1, FIFO); err == nil {
+		t.Error("negative delta should fail")
+	}
+	dup := []Chunk{{Worker: 0, Data: 1, Work: 1}, {Worker: 0, Data: 1, Work: 1}}
+	if _, err := RunSingleRoundWithReturns(p, dup, 0.5, FIFO); err == nil {
+		t.Error("duplicate worker should fail")
+	}
+	if _, err := RunSingleRoundWithReturns(p, []Chunk{{Worker: 7, Data: 1, Work: 1}}, 0.5, FIFO); err == nil {
+		t.Error("unknown worker should fail")
+	}
+	if FIFO.String() != "fifo" || LIFO.String() != "lifo" || ReturnOrder(9).String() == "" {
+		t.Error("order names")
+	}
+}
+
+func TestReturnsVolumeAccounting(t *testing.T) {
+	p, _ := platform.Homogeneous(3, 1, 1)
+	chunks := []Chunk{
+		{Worker: 0, Data: 2, Work: 1},
+		{Worker: 1, Data: 4, Work: 1},
+		{Worker: 2, Data: 6, Work: 1},
+	}
+	tl, err := RunSingleRoundWithReturns(p, chunks, 0.25, LIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Volume = sends (12) + returns (3).
+	if math.Abs(tl.CommVolume()-15) > 1e-9 {
+		t.Errorf("volume = %v, want 15", tl.CommVolume())
+	}
+}

@@ -1,0 +1,237 @@
+package dessim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// IntervalKind distinguishes what a worker was doing during an interval.
+type IntervalKind int
+
+// Interval kinds.
+const (
+	// Receive marks the transfer of a chunk from the master.
+	Receive IntervalKind = iota
+	// Compute marks processing of a received chunk.
+	Compute
+)
+
+// String implements fmt.Stringer.
+func (k IntervalKind) String() string {
+	switch k {
+	case Receive:
+		return "recv"
+	case Compute:
+		return "comp"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Interval is one booked activity on a worker's timeline.
+type Interval struct {
+	Kind       IntervalKind
+	Start, End float64
+	// Data is the chunk size in data units (meaningful for Receive).
+	Data float64
+	// Work is the amount of useful work units (meaningful for Compute).
+	Work float64
+	// Task identifies the chunk/task this interval belongs to (-1 if n/a).
+	Task int
+}
+
+// Duration returns End - Start.
+func (iv Interval) Duration() float64 { return iv.End - iv.Start }
+
+// Timeline is the full execution record of one simulation run.
+type Timeline struct {
+	// PerWorker[i] lists worker i's intervals in start order.
+	PerWorker [][]Interval
+	// Makespan is the completion time of the last interval.
+	Makespan float64
+}
+
+// NewTimeline creates a timeline for p workers.
+func NewTimeline(p int) *Timeline {
+	return &Timeline{PerWorker: make([][]Interval, p)}
+}
+
+// Add records an interval for worker i and updates the makespan.
+func (tl *Timeline) Add(i int, iv Interval) {
+	tl.PerWorker[i] = append(tl.PerWorker[i], iv)
+	if iv.End > tl.Makespan {
+		tl.Makespan = iv.End
+	}
+}
+
+// CommVolume returns the total data units transferred across all workers.
+func (tl *Timeline) CommVolume() float64 {
+	v := 0.0
+	for _, ivs := range tl.PerWorker {
+		for _, iv := range ivs {
+			if iv.Kind == Receive {
+				v += iv.Data
+			}
+		}
+	}
+	return v
+}
+
+// WorkDone returns the total useful work units completed.
+func (tl *Timeline) WorkDone() float64 {
+	v := 0.0
+	for _, ivs := range tl.PerWorker {
+		for _, iv := range ivs {
+			if iv.Kind == Compute {
+				v += iv.Work
+			}
+		}
+	}
+	return v
+}
+
+// FinishTimes returns each worker's last-interval end time (0 if idle the
+// whole run).
+func (tl *Timeline) FinishTimes() []float64 {
+	out := make([]float64, len(tl.PerWorker))
+	for i, ivs := range tl.PerWorker {
+		for _, iv := range ivs {
+			if iv.End > out[i] {
+				out[i] = iv.End
+			}
+		}
+	}
+	return out
+}
+
+// ComputeTimes returns each worker's total Compute duration.
+func (tl *Timeline) ComputeTimes() []float64 {
+	out := make([]float64, len(tl.PerWorker))
+	for i, ivs := range tl.PerWorker {
+		for _, iv := range ivs {
+			if iv.Kind == Compute {
+				out[i] += iv.Duration()
+			}
+		}
+	}
+	return out
+}
+
+// LoadImbalance returns e = (t_max - t_min)/t_min over the workers'
+// compute times, the imbalance metric of Section 4.3 that drives the
+// Comm_hom/k refinement. Workers with zero compute time make the
+// imbalance +Inf (the strategy left someone idle); a run with no compute
+// anywhere returns 0.
+func (tl *Timeline) LoadImbalance() float64 {
+	times := tl.ComputeTimes()
+	tmin, tmax := math.Inf(1), 0.0
+	for _, t := range times {
+		if t < tmin {
+			tmin = t
+		}
+		if t > tmax {
+			tmax = t
+		}
+	}
+	if tmax == 0 {
+		return 0
+	}
+	if tmin == 0 {
+		return math.Inf(1)
+	}
+	return (tmax - tmin) / tmin
+}
+
+// Utilization returns the fraction of worker-time spent computing between
+// 0 and the makespan (0 for an empty run).
+func (tl *Timeline) Utilization() float64 {
+	if tl.Makespan == 0 || len(tl.PerWorker) == 0 {
+		return 0
+	}
+	busy := 0.0
+	for _, t := range tl.ComputeTimes() {
+		busy += t
+	}
+	return busy / (tl.Makespan * float64(len(tl.PerWorker)))
+}
+
+// Validate checks causal consistency: every interval has non-negative
+// duration, and intervals of the same kind on one worker do not overlap
+// (the link and the CPU are distinct resources, so a Receive may overlap a
+// Compute — that is exactly the multi-round pipelining of Section 1.2 —
+// but two Receives or two Computes may not). It returns the first
+// violation found.
+func (tl *Timeline) Validate() error {
+	for i, ivs := range tl.PerWorker {
+		prevEnd := map[IntervalKind]float64{}
+		for j, iv := range ivs {
+			if iv.End < iv.Start {
+				return fmt.Errorf("worker %d interval %d has negative duration [%v,%v]", i, j, iv.Start, iv.End)
+			}
+			if end, ok := prevEnd[iv.Kind]; ok && iv.Start < end-1e-9 {
+				return fmt.Errorf("worker %d %s interval %d starts at %v before previous end %v", i, iv.Kind, j, iv.Start, end)
+			}
+			prevEnd[iv.Kind] = iv.End
+		}
+	}
+	return nil
+}
+
+// Gantt renders an ASCII Gantt chart of the timeline, width columns wide.
+// Receive intervals render as '-', compute as '#'.
+func (tl *Timeline) Gantt(width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if tl.Makespan == 0 {
+		return "(empty timeline)\n"
+	}
+	var b strings.Builder
+	scale := float64(width) / tl.Makespan
+	for i, ivs := range tl.PerWorker {
+		row := []byte(strings.Repeat(".", width))
+		for _, iv := range ivs {
+			lo := int(iv.Start * scale)
+			hi := int(iv.End * scale)
+			if hi >= width {
+				hi = width - 1
+			}
+			ch := byte('-')
+			if iv.Kind == Compute {
+				ch = '#'
+			}
+			for c := lo; c <= hi; c++ {
+				row[c] = ch
+			}
+		}
+		fmt.Fprintf(&b, "P%-3d |%s|\n", i+1, string(row))
+	}
+	fmt.Fprintf(&b, "      0%*s%.4g\n", width-1, "t=", tl.Makespan)
+	return b.String()
+}
+
+// Summary renders a per-worker utilization report: busy compute time,
+// receive time, idle share relative to the makespan.
+func (tl *Timeline) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %.4g, %d workers, volume %.4g, work %.4g, utilization %.1f%%\n",
+		tl.Makespan, len(tl.PerWorker), tl.CommVolume(), tl.WorkDone(), 100*tl.Utilization())
+	for i, ivs := range tl.PerWorker {
+		var comp, recv float64
+		for _, iv := range ivs {
+			switch iv.Kind {
+			case Compute:
+				comp += iv.Duration()
+			case Receive:
+				recv += iv.Duration()
+			}
+		}
+		idle := 0.0
+		if tl.Makespan > 0 {
+			idle = 100 * (tl.Makespan - comp) / tl.Makespan
+		}
+		fmt.Fprintf(&b, "  P%-3d compute %.4g  recv %.4g  idle %.1f%%\n", i+1, comp, recv, idle)
+	}
+	return b.String()
+}

@@ -1,0 +1,31 @@
+package dlt_test
+
+import (
+	"fmt"
+
+	"nlfl/internal/dlt"
+	"nlfl/internal/platform"
+)
+
+// The classical result: the optimal star allocation equalizes finish
+// times, so faster-and-better-connected workers get more load.
+func ExampleOptimalParallel() {
+	pl, _ := platform.New([]platform.Worker{
+		{Speed: 1, Bandwidth: 1},
+		{Speed: 3, Bandwidth: 1},
+	})
+	a, _ := dlt.OptimalParallel(pl, 100)
+	fmt.Printf("shares %.3f, makespan %.1f\n", a.Fractions, a.Makespan)
+	// Output: shares [0.400 0.600], makespan 80.0
+}
+
+// One-port: the emission order matters; BestOnePortOrder serves the
+// best-connected worker first.
+func ExampleBestOnePortOrder() {
+	pl, _ := platform.New([]platform.Worker{
+		{Speed: 1, Bandwidth: 1},
+		{Speed: 1, Bandwidth: 9},
+	})
+	fmt.Println(dlt.BestOnePortOrder(pl))
+	// Output: [1 0]
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"testing"
+
+	"nlfl/internal/platform"
+	"nlfl/internal/stats"
+)
+
+func TestAffinitySweep(t *testing.T) {
+	r := stats.NewRNG(9)
+	pl, err := platform.Generate(10, stats.Uniform{Lo: 1, Hi: 100}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := []int{10, 20, 40}
+	pts, err := AffinitySweep(pl, 1000, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(gs) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, pt := range pts {
+		if !(pt.Affinity <= pt.Cache+1e-9 && pt.Cache <= pt.NoCache+1e-9) {
+			t.Errorf("g=%d: policy ordering violated: %+v", pt.G, pt)
+		}
+		if pt.Het > pt.Affinity {
+			t.Errorf("g=%d: static layout %v should beat demand-driven affinity %v", pt.G, pt.Het, pt.Affinity)
+		}
+		// No-cache volume scales with g; affinity must grow much slower.
+		if i > 0 {
+			if pt.NoCache <= pts[i-1].NoCache {
+				t.Errorf("no-cache ratio should grow with g: %+v", pts)
+			}
+			growthNoCache := pt.NoCache / pts[i-1].NoCache
+			growthAffinity := pt.Affinity / pts[i-1].Affinity
+			if growthAffinity > growthNoCache {
+				t.Errorf("affinity ratio grows faster than no-cache between g=%d and g=%d", pts[i-1].G, pt.G)
+			}
+		}
+	}
+	if AffinityTable(pts).String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestAffinitySweepValidation(t *testing.T) {
+	pl, _ := platform.Homogeneous(4, 1, 1)
+	if _, err := AffinitySweep(pl, 100, []int{0}); err == nil {
+		t.Error("invalid grid should fail")
+	}
+}
+
+func TestMemorySweep(t *testing.T) {
+	r := stats.NewRNG(13)
+	pl, err := platform.Generate(6, stats.Uniform{Lo: 1, Hi: 20}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const g = 16
+	pts, err := MemorySweep(pl, 500, g, []int{0, 2, 8, 2 * g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Capacity 0 pays the full per-block price; unlimited pays the least.
+	if pts[0].Ratio <= pts[len(pts)-1].Ratio {
+		t.Errorf("memory should buy volume: %+v", pts)
+	}
+	// The trend is (weakly) improving with capacity, small LRU slack
+	// tolerated.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Ratio > pts[i-1].Ratio*1.05 {
+			t.Errorf("ratio regressed with more memory: %+v", pts)
+		}
+	}
+	if MemoryTable(pts).String() == "" {
+		t.Error("empty table")
+	}
+	if _, err := MemorySweep(pl, 500, 0, []int{1}); err == nil {
+		t.Error("bad grid should fail")
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+
+	"nlfl/internal/platform"
+	"nlfl/internal/stats"
+)
+
+func TestBottleneck(t *testing.T) {
+	r := stats.NewRNG(5)
+	pl, err := platform.Generate(20, stats.Uniform{Lo: 1, Hi: 100}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bws := []float64{0.01, 0.1, 1, 10, 1000}
+	pts, err := Bottleneck(pl, 1000, 0.01, bws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(bws) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, pt := range pts {
+		// Makespans normalized by the compute bound are ≥ ~1.
+		if pt.Het < 0.99 || pt.Hom < 0.99 || pt.HomK < 0.99 {
+			t.Errorf("bw=%v: normalized makespan below compute bound: %+v", pt.Bandwidth, pt)
+		}
+		// Comm_het never loses to Comm_hom/k: same balanced compute, less
+		// data everywhere.
+		if pt.Het > pt.HomK+1e-9 {
+			t.Errorf("bw=%v: het %v slower than hom/k %v", pt.Bandwidth, pt.Het, pt.HomK)
+		}
+		// Makespans fall (weakly) as bandwidth grows.
+		if i > 0 && (pt.Het > pts[i-1].Het+1e-9 || pt.HomK > pts[i-1].HomK+1e-9) {
+			t.Errorf("makespan increased with bandwidth at bw=%v", pt.Bandwidth)
+		}
+	}
+	// With crawling links the volume gap must dominate the makespan:
+	// hom/k should be several times slower than het.
+	slow := pts[0]
+	if slow.HomK < 3*slow.Het {
+		t.Errorf("slow links: hom/k %v should dwarf het %v", slow.HomK, slow.Het)
+	}
+	// With infinite-ish links everyone sits at the compute bound.
+	fast := pts[len(pts)-1]
+	if fast.HomK > 1.2 || fast.Het > 1.2 {
+		t.Errorf("fast links: makespans %v/%v should approach 1", fast.Het, fast.HomK)
+	}
+	if BottleneckTable(pts).String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestBottleneckValidation(t *testing.T) {
+	pl, _ := platform.Homogeneous(4, 1, 1)
+	if _, err := Bottleneck(pl, 100, 0.01, []float64{0}); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+	if _, err := Bottleneck(pl, 100, 0.01, []float64{-1}); err == nil {
+		t.Error("negative bandwidth should fail")
+	}
+	pts, err := Bottleneck(pl, 100, 0, []float64{1})
+	if err != nil || len(pts) != 1 {
+		t.Errorf("eps default failed: %v %v", pts, err)
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunSuiteQuick(t *testing.T) {
+	res, err := RunSuite(SuiteConfig{Trials: 5, Seed: 42, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NonLinear) == 0 || len(res.SortScaling) == 0 || len(res.Rho) == 0 {
+		t.Fatal("suite missing sections")
+	}
+	if len(res.Fig4Homogeneous) != 2 || len(res.Fig4Uniform) != 2 || len(res.Fig4LogNormal) != 2 {
+		t.Fatalf("quick fig4 sweeps wrong size: %d/%d/%d",
+			len(res.Fig4Homogeneous), len(res.Fig4Uniform), len(res.Fig4LogNormal))
+	}
+	if len(res.Affinity) == 0 || len(res.Bottleneck) == 0 || len(res.Adaptivity) == 0 || len(res.Returns) == 0 {
+		t.Fatal("extension sections missing")
+	}
+	h := res.Headline()
+	if math.Abs(h["undone-fraction-P100-α2"]-0.99) > 1e-9 {
+		t.Errorf("headline fraction = %v, want 0.99", h["undone-fraction-P100-α2"])
+	}
+	if h["fig4b-het-last"] < 1 || h["fig4b-het-last"] > 1.05 {
+		t.Errorf("headline het ratio = %v", h["fig4b-het-last"])
+	}
+	if h["rho-last"] < 8 {
+		t.Errorf("headline ρ(k=100) = %v, want ≈8.5", h["rho-last"])
+	}
+}
+
+func TestRunSuiteDeterministic(t *testing.T) {
+	a, err := RunSuite(SuiteConfig{Trials: 3, Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSuite(SuiteConfig{Trials: 3, Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fig4Uniform[0] != b.Fig4Uniform[0] {
+		t.Error("suite not deterministic")
+	}
+	if a.Headline()["rho-last"] != b.Headline()["rho-last"] {
+		t.Error("headline not deterministic")
+	}
+}
+
+func TestRunSuiteValidation(t *testing.T) {
+	if _, err := RunSuite(SuiteConfig{Trials: 0}); err == nil {
+		t.Error("zero trials should fail")
+	}
+}

@@ -1,0 +1,14 @@
+package mapreduce_test
+
+import (
+	"fmt"
+
+	"nlfl/internal/mapreduce"
+)
+
+// WordCount: the canonical linear workload MapReduce is built for.
+func ExampleWordCount() {
+	out, _, _ := mapreduce.WordCount([]string{"a b a", "b a"}, 2, 2)
+	fmt.Println(out["a"], out["b"])
+	// Output: 3 2
+}

@@ -1,0 +1,173 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+
+	"nlfl/internal/platform"
+)
+
+// Failure kills one worker at a given time. Per Hadoop's map-phase
+// semantics (Section 1.1: "a crucial feature of MapReduce is its inherent
+// capability of handling hardware failures"), a failed worker's
+// *running* task is re-queued and its *completed* tasks are re-executed
+// too (their outputs lived on the dead machine's local disk).
+type Failure struct {
+	Worker int
+	Time   float64
+}
+
+// FaultResult extends ScheduleResult with failure accounting.
+type FaultResult struct {
+	// Makespan is the completion time of the last surviving execution.
+	Makespan float64
+	// TasksPerWorker counts final (surviving) executions per worker.
+	TasksPerWorker []int
+	// Reexecutions counts task executions repeated because of failures.
+	Reexecutions int
+	// LostWork is the work (in task-work units) thrown away on dead
+	// workers.
+	LostWork float64
+}
+
+// ScheduleWithFailures runs the demand-driven distribution under injected
+// worker failures. The simulation is epoch-based and deterministic:
+// between failures the pool drains demand-driven among live workers;
+// at each failure the dead worker's completed and in-flight tasks return
+// to the pool. Tasks are identical (Data/Work per TaskSpec index is used
+// only for volume/work accounting; the demand-driven dynamics assume the
+// uniform-task shape of the paper's Homogeneous Blocks).
+func ScheduleWithFailures(p *platform.Platform, tasks []TaskSpec, failures []Failure) (FaultResult, error) {
+	for i, t := range tasks {
+		if t.Data < 0 || t.Work < 0 {
+			return FaultResult{}, fmt.Errorf("mapreduce: task %d has negative size", i)
+		}
+	}
+	for _, f := range failures {
+		if f.Worker < 0 || f.Worker >= p.P() {
+			return FaultResult{}, fmt.Errorf("mapreduce: failure targets unknown worker %d", f.Worker)
+		}
+		if f.Time < 0 {
+			return FaultResult{}, fmt.Errorf("mapreduce: failure at negative time %v", f.Time)
+		}
+	}
+	fs := append([]Failure(nil), failures...)
+	sort.Slice(fs, func(a, b int) bool { return fs[a].Time < fs[b].Time })
+
+	res := FaultResult{TasksPerWorker: make([]int, p.P())}
+	dead := make([]bool, p.P())
+	// pending holds indices of tasks still needing a surviving execution.
+	pending := make([]int, len(tasks))
+	for i := range pending {
+		pending[i] = i
+	}
+	// Per-worker state: next free time and the provisional completions of
+	// this epoch (they only become durable if the worker survives... in
+	// this model completions are durable unless the worker later dies —
+	// Hadoop loses map outputs on failure, so we track them per worker).
+	free := make([]float64, p.P())
+	type execution struct {
+		task   int
+		finish float64
+	}
+	completed := make([][]execution, p.P())
+	executions := 0
+
+	liveWorkers := func() int {
+		n := 0
+		for _, d := range dead {
+			if !d {
+				n++
+			}
+		}
+		return n
+	}
+
+	// run drains `pending` demand-driven until `until` (or completion),
+	// returning tasks that finished strictly after `until` back to the
+	// queue unfinished.
+	run := func(until float64) {
+		queue := pending
+		pending = nil
+		for len(queue) > 0 {
+			// Earliest-free live worker.
+			w := -1
+			for cand := 0; cand < p.P(); cand++ {
+				if dead[cand] {
+					continue
+				}
+				if w == -1 || free[cand] < free[w] {
+					w = cand
+				}
+			}
+			if w == -1 || free[w] >= until {
+				break
+			}
+			task := queue[0]
+			dur := tasks[task].Work / p.Worker(w).Speed
+			finish := free[w] + dur
+			if finish > until {
+				// The failure interrupts this execution: the task stays
+				// pending, the worker is busy until the failure.
+				queue = queue[1:]
+				pending = append(pending, task)
+				free[w] = until
+				continue
+			}
+			queue = queue[1:]
+			free[w] = finish
+			completed[w] = append(completed[w], execution{task: task, finish: finish})
+			executions++
+		}
+		pending = append(pending, queue...)
+	}
+
+	const inf = 1e300
+	for _, f := range fs {
+		if liveWorkers() == 0 {
+			break
+		}
+		run(f.Time)
+		if len(pending) == 0 {
+			// The job finished before this failure: map outputs have been
+			// consumed; later failures are free.
+			break
+		}
+		if dead[f.Worker] {
+			continue
+		}
+		dead[f.Worker] = true
+		// Lose the dead worker's outputs: its completed tasks re-enter
+		// the pool (re-executions), preserving task order.
+		lost := completed[f.Worker]
+		completed[f.Worker] = nil
+		for _, ex := range lost {
+			res.LostWork += tasks[ex.task].Work
+			pending = append(pending, ex.task)
+			res.Reexecutions++
+		}
+		sort.Ints(pending)
+		// Surviving workers resume from max(free, failure time).
+		for wkr := range free {
+			if !dead[wkr] && free[wkr] < f.Time {
+				free[wkr] = f.Time
+			}
+		}
+	}
+	if liveWorkers() == 0 && len(pending) > 0 {
+		return res, fmt.Errorf("mapreduce: all workers dead with %d tasks pending", len(pending))
+	}
+	run(inf)
+	if len(pending) > 0 {
+		return res, fmt.Errorf("mapreduce: %d tasks never completed", len(pending))
+	}
+	for w, exs := range completed {
+		res.TasksPerWorker[w] = len(exs)
+		for _, ex := range exs {
+			if ex.finish > res.Makespan {
+				res.Makespan = ex.finish
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,198 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nlfl/internal/dessim"
+	"nlfl/internal/platform"
+)
+
+// TaskSpec is one schedulable chunk: Data units to ship, Work units to
+// compute (time Work/speed on the assigned worker).
+type TaskSpec struct {
+	Data float64
+	Work float64
+}
+
+// ScheduleResult is the outcome of placing a task set on a heterogeneous
+// platform.
+type ScheduleResult struct {
+	// Makespan is the completion time of the last task.
+	Makespan float64
+	// Assignment[t] is the worker that completed task t first.
+	Assignment []int
+	// TasksPerWorker[w] counts tasks credited to worker w.
+	TasksPerWorker []int
+	// DataPerWorker[w] is the volume shipped to worker w, including data
+	// for speculative copies that lost the race.
+	DataPerWorker []float64
+	// Backups is the number of speculative copies launched.
+	Backups int
+	// WastedWork is the work units burned by losing copies.
+	WastedWork float64
+	// Imbalance is (t_max-t_min)/t_min over busy time per worker.
+	Imbalance float64
+}
+
+// Schedule places tasks demand-driven (the Hadoop model the paper
+// describes: "the load-balancing is achieved by splitting the workload in
+// many tasks ... the fastest processor gets more chunks than the others").
+// With speculate=true, once the pool is empty each idle worker may launch
+// one backup copy of a still-running task, fastest-idle-worker first and
+// longest-remaining-task first — Hadoop's straggler mitigation ("some
+// tasks are themselves replicated at the end of the computations to
+// minimize execution discrepancy"). A task completes when either copy
+// finishes; the loser's work is counted as waste.
+func Schedule(p *platform.Platform, tasks []TaskSpec, speculate bool) (ScheduleResult, error) {
+	for i, t := range tasks {
+		if t.Data < 0 || t.Work < 0 {
+			return ScheduleResult{}, fmt.Errorf("mapreduce: task %d has negative size", i)
+		}
+	}
+	res := ScheduleResult{
+		Assignment:     make([]int, len(tasks)),
+		TasksPerWorker: make([]int, p.P()),
+		DataPerWorker:  make([]float64, p.P()),
+	}
+	for i := range res.Assignment {
+		res.Assignment[i] = -1
+	}
+	if len(tasks) == 0 {
+		return res, nil
+	}
+
+	eng := dessim.NewEngine()
+	next := 0
+	type running struct {
+		task    int
+		worker  int
+		finish  float64
+		backup  bool
+		settled bool
+	}
+	var active []*running
+	busy := make([]float64, p.P())
+	done := make([]bool, len(tasks))
+	backupOf := make([]bool, len(tasks))
+
+	finishOne := func(r *running) {
+		if r.settled || done[r.task] {
+			if !r.settled {
+				// This copy lost the race: its work is waste. (Hadoop
+				// kills the loser; the engine still fires its event, but
+				// the job's makespan is the winners' last finish.)
+				r.settled = true
+				res.WastedWork += tasks[r.task].Work
+			}
+			return
+		}
+		r.settled = true
+		done[r.task] = true
+		res.Assignment[r.task] = r.worker
+		res.TasksPerWorker[r.worker]++
+		if eng.Now() > res.Makespan {
+			res.Makespan = eng.Now()
+		}
+	}
+
+	var assign func(worker int)
+	launch := func(worker, task int, backup bool) {
+		w := p.Worker(worker)
+		recvEnd := eng.Now() + w.CommTime(tasks[task].Data)
+		finish := recvEnd + w.LinearCompTime(tasks[task].Work)
+		res.DataPerWorker[worker] += tasks[task].Data
+		busy[worker] += finish - eng.Now()
+		r := &running{task: task, worker: worker, finish: finish, backup: backup}
+		active = append(active, r)
+		eng.At(finish, func() {
+			finishOne(r)
+			assign(worker)
+		})
+	}
+	assign = func(worker int) {
+		if next < len(tasks) {
+			task := next
+			next++
+			launch(worker, task, false)
+			return
+		}
+		if !speculate {
+			return
+		}
+		// Pool empty: back up the running task with the latest projected
+		// finish, if any copy-less task remains.
+		var target *running
+		for _, r := range active {
+			if r.settled || done[r.task] || backupOf[r.task] || r.backup {
+				continue
+			}
+			if r.finish <= eng.Now() {
+				continue
+			}
+			if target == nil || r.finish > target.finish {
+				target = r
+			}
+		}
+		if target == nil {
+			return
+		}
+		// Only back up when this worker can plausibly beat the original.
+		w := p.Worker(worker)
+		eta := eng.Now() + w.CommTime(tasks[target.task].Data) + w.LinearCompTime(tasks[target.task].Work)
+		if eta >= target.finish {
+			return
+		}
+		backupOf[target.task] = true
+		res.Backups++
+		launch(worker, target.task, true)
+	}
+
+	for i := 0; i < p.P(); i++ {
+		worker := i
+		eng.At(0, func() { assign(worker) })
+	}
+	eng.Run()
+
+	for i, d := range done {
+		if !d {
+			return res, fmt.Errorf("mapreduce: task %d never completed", i)
+		}
+	}
+	res.Imbalance = imbalance(busy)
+	return res, nil
+}
+
+// imbalance returns (max-min)/min of the positive entries; +Inf if any
+// entry is zero while another is positive, 0 for an all-zero slice.
+func imbalance(ts []float64) float64 {
+	tmin, tmax := math.Inf(1), 0.0
+	for _, t := range ts {
+		if t < tmin {
+			tmin = t
+		}
+		if t > tmax {
+			tmax = t
+		}
+	}
+	if tmax == 0 {
+		return 0
+	}
+	if tmin == 0 {
+		return math.Inf(1)
+	}
+	return (tmax - tmin) / tmin
+}
+
+// UniformTasks builds n identical tasks.
+func UniformTasks(n int, data, work float64) ([]TaskSpec, error) {
+	if n < 0 {
+		return nil, errors.New("mapreduce: negative task count")
+	}
+	tasks := make([]TaskSpec, n)
+	for i := range tasks {
+		tasks[i] = TaskSpec{Data: data, Work: work}
+	}
+	return tasks, nil
+}

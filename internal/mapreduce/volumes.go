@@ -1,0 +1,90 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"nlfl/internal/partition"
+)
+
+// DistributionVolume is the closed-form communication cost (in matrix
+// elements shipped from the data source to the mappers/workers) of one
+// n×n matrix multiplication under the distributions the paper discusses
+// (Section 4, refs [27, 36]). These are the asymptotic counterparts of
+// the executable jobs in jobs.go.
+type DistributionVolume struct {
+	Name   string
+	Volume float64
+}
+
+// String renders the entry.
+func (d DistributionVolume) String() string {
+	return fmt.Sprintf("%s: %.4g elements", d.Name, d.Volume)
+}
+
+// NaivePairsVolume is the fully replicated (i,k,j) dataset: each of the
+// n³ records carries two elements, so 2n³ elements reach the mappers
+// (and n³ partial products cross the shuffle without a combiner).
+func NaivePairsVolume(n int) DistributionVolume {
+	nn := float64(n)
+	return DistributionVolume{Name: "naive-pairs", Volume: 2 * nn * nn * nn}
+}
+
+// RowColumnVolume is the row×column distribution: each of the n² result
+// cells is computed by a task holding a full row of A and a full column
+// of B, grouped into g row-bands and g column-bands (g² tasks): every
+// task receives (n/g)·n elements of A and n·(n/g) of B, for a total of
+// 2·g·n².
+func RowColumnVolume(n, g int) DistributionVolume {
+	nn := float64(n)
+	return DistributionVolume{
+		Name:   fmt.Sprintf("row-column(g=%d)", g),
+		Volume: 2 * float64(g) * nn * nn,
+	}
+}
+
+// BlockVolume is the square-block distribution with a g×g grid of result
+// blocks: task (I,J) needs the I-th row band of A (n·n/g elements) and
+// the J-th column band of B, so the total is again 2·g·n² — the shape
+// (not the constant) is what distinguishes it from the 2D-aware layouts
+// below, whose volume grows like √p, not like the block count.
+func BlockVolume(n, g int) DistributionVolume {
+	nn := float64(n)
+	return DistributionVolume{
+		Name:   fmt.Sprintf("block(g=%d)", g),
+		Volume: 2 * float64(g) * nn * nn,
+	}
+}
+
+// GridVolume is the outer-product (ScaLAPACK) algorithm on an r×c
+// processor grid: n²·(r+c-2) elements (see matmul.GridCommClosedForm).
+func GridVolume(n, r, c int) DistributionVolume {
+	nn := float64(n)
+	return DistributionVolume{
+		Name:   fmt.Sprintf("grid(%dx%d)", r, c),
+		Volume: nn * nn * float64(r+c-2),
+	}
+}
+
+// HeterogeneousVolume is the rectangle layout: n²·(Ĉ-2) elements where Ĉ
+// is the PERI-SUM sum of half-perimeters of the speed-proportional
+// partition.
+func HeterogeneousVolume(n int, part *partition.Partition) DistributionVolume {
+	nn := float64(n)
+	return DistributionVolume{
+		Name:   "heterogeneous-rect",
+		Volume: nn * nn * (part.SumHalfPerimeters() - 2),
+	}
+}
+
+// CompareDistributions evaluates the standard menu for one problem size
+// and platform partition, in a fixed report order.
+func CompareDistributions(n int, gridR, gridC int, part *partition.Partition) []DistributionVolume {
+	g := gridR * gridC
+	return []DistributionVolume{
+		NaivePairsVolume(n),
+		RowColumnVolume(n, g),
+		BlockVolume(n, g),
+		GridVolume(n, gridR, gridC),
+		HeterogeneousVolume(n, part),
+	}
+}

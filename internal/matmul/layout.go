@@ -1,0 +1,218 @@
+package matmul
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nlfl/internal/partition"
+)
+
+// Layout assigns every cell of an n×n matrix (and, by the paper's
+// "all three matrices share the same layout" convention, of A, B and C
+// alike) to one of P processors.
+type Layout interface {
+	// P returns the number of processors.
+	P() int
+	// N returns the matrix dimension.
+	N() int
+	// OwnerOf returns the processor owning cell (i, j).
+	OwnerOf(i, j int) int
+	// Name identifies the layout in reports.
+	Name() string
+}
+
+// BlockCyclic is the ScaLAPACK layout: the matrix is tiled with bs×bs
+// blocks dealt cyclically onto an r×c processor grid — the homogeneous
+// layout MapReduce-style implementations inherit (refs [36, 27, 45]).
+type BlockCyclic struct {
+	Dim   int // matrix dimension n
+	GridR int
+	GridC int
+	Block int
+}
+
+// NewBlockCyclic validates and builds a block-cyclic layout.
+func NewBlockCyclic(n, gridR, gridC, block int) (*BlockCyclic, error) {
+	if n <= 0 || gridR <= 0 || gridC <= 0 || block <= 0 {
+		return nil, errors.New("matmul: invalid block-cyclic parameters")
+	}
+	return &BlockCyclic{Dim: n, GridR: gridR, GridC: gridC, Block: block}, nil
+}
+
+// P implements Layout.
+func (l *BlockCyclic) P() int { return l.GridR * l.GridC }
+
+// N implements Layout.
+func (l *BlockCyclic) N() int { return l.Dim }
+
+// OwnerOf implements Layout.
+func (l *BlockCyclic) OwnerOf(i, j int) int {
+	br := (i / l.Block) % l.GridR
+	bc := (j / l.Block) % l.GridC
+	return br*l.GridC + bc
+}
+
+// Name implements Layout.
+func (l *BlockCyclic) Name() string {
+	return fmt.Sprintf("block-cyclic(%dx%d,b=%d)", l.GridR, l.GridC, l.Block)
+}
+
+// RectLayout realizes a unit-square rectangle partition on an n×n matrix:
+// cell (i, j) belongs to the rectangle containing the point
+// ((j+0.5)/n, (i+0.5)/n) — the Heterogeneous Blocks layout of
+// Section 4.2.
+type RectLayout struct {
+	Dim  int
+	Part *partition.Partition
+}
+
+// NewRectLayout builds the layout after validating the partition.
+func NewRectLayout(n int, part *partition.Partition) (*RectLayout, error) {
+	if n <= 0 {
+		return nil, errors.New("matmul: invalid dimension")
+	}
+	if err := part.Validate(); err != nil {
+		return nil, err
+	}
+	return &RectLayout{Dim: n, Part: part}, nil
+}
+
+// P implements Layout.
+func (l *RectLayout) P() int { return len(l.Part.Rects) }
+
+// N implements Layout.
+func (l *RectLayout) N() int { return l.Dim }
+
+// OwnerOf implements Layout. The returned id is the processor index the
+// rectangle serves (Rect.Index), so per-processor reports align with the
+// platform's worker order.
+func (l *RectLayout) OwnerOf(i, j int) int {
+	x := (float64(j) + 0.5) / float64(l.Dim)
+	y := (float64(i) + 0.5) / float64(l.Dim)
+	for _, r := range l.Part.Rects {
+		if x >= r.X && x < r.X+r.W && y >= r.Y && y < r.Y+r.H {
+			return r.Index
+		}
+	}
+	// Boundary slack: fall back to the nearest rectangle by center
+	// distance (only reachable through floating-point edge effects).
+	best, bestD := 0, math.Inf(1)
+	for _, r := range l.Part.Rects {
+		cx, cy := r.X+r.W/2, r.Y+r.H/2
+		d := (x-cx)*(x-cx) + (y-cy)*(y-cy)
+		if d < bestD {
+			best, bestD = r.Index, d
+		}
+	}
+	return best
+}
+
+// Name implements Layout.
+func (l *RectLayout) Name() string { return fmt.Sprintf("rect(p=%d)", l.P()) }
+
+// CommReport is the communication accounting of one full outer-product
+// matrix multiplication under a layout.
+type CommReport struct {
+	Layout string
+	N      int
+	// Total is the number of matrix elements transferred.
+	Total float64
+	// PerProc[q] counts the elements processor q receives.
+	PerProc []float64
+	// CellsPerProc[q] counts the C cells (≅ work) processor q owns.
+	CellsPerProc []int
+}
+
+// Imbalance returns the work imbalance (t_max - t_min)/t_min over owned
+// cells, optionally weighted by speeds (nil for unit speeds).
+func (r CommReport) Imbalance(speeds []float64) float64 {
+	tmin, tmax := math.Inf(1), 0.0
+	for q, c := range r.CellsPerProc {
+		t := float64(c)
+		if speeds != nil {
+			t /= speeds[q]
+		}
+		if t < tmin {
+			tmin = t
+		}
+		if t > tmax {
+			tmax = t
+		}
+	}
+	if tmax == 0 {
+		return 0
+	}
+	if tmin == 0 {
+		return math.Inf(1)
+	}
+	return (tmax - tmin) / tmin
+}
+
+// CommVolume simulates the Figure 3 outer-product algorithm step by step
+// and counts every element received: at step k, processor q needs A[i,k]
+// for every row i in which it owns C cells (receiving it unless q itself
+// owns A[i,k]), and symmetrically B[k,j] for every owned column j. The
+// result is exact for any layout and cross-checks the closed forms below.
+func CommVolume(l Layout) CommReport {
+	n, p := l.N(), l.P()
+	rep := CommReport{Layout: l.Name(), N: n, PerProc: make([]float64, p), CellsPerProc: make([]int, p)}
+
+	// needsRow[i] / needsCol[j]: bitmask-ish sets of processors owning C
+	// cells in row i / column j.
+	needsRow := make([][]bool, n)
+	needsCol := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		needsRow[i] = make([]bool, p)
+		needsCol[i] = make([]bool, p)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			q := l.OwnerOf(i, j)
+			rep.CellsPerProc[q]++
+			needsRow[i][q] = true
+			needsCol[j][q] = true
+		}
+	}
+	// A[i,k] broadcasts: owner l.OwnerOf(i,k); receivers: needsRow[i]\{owner}.
+	// B[k,j] broadcasts: owner l.OwnerOf(k,j); receivers: needsCol[j]\{owner}.
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			owner := l.OwnerOf(i, k)
+			for q, need := range needsRow[i] {
+				if need && q != owner {
+					rep.PerProc[q]++
+					rep.Total++
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			owner := l.OwnerOf(k, j)
+			for q, need := range needsCol[j] {
+				if need && q != owner {
+					rep.PerProc[q]++
+					rep.Total++
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// GridCommClosedForm returns the outer-product algorithm's total volume on
+// an r×c grid: every step broadcasts a column of A to the c-1 other
+// processor columns and a row of B to the r-1 other processor rows, giving
+// n²·(r-1+c-1) elements overall.
+func GridCommClosedForm(gridR, gridC, n int) float64 {
+	return float64(n) * float64(n) * float64(gridR-1+gridC-1)
+}
+
+// RectCommClosedForm returns the volume for a rectangle layout: processor
+// i needs hᵢ·n full rows of A and wᵢ·n full columns of B (n elements
+// each), minus the 2·aᵢ·n² elements it already owns — in total
+// n²·(Ĉ - 2) where Ĉ is the partition's sum of half-perimeters. This is
+// the Section 4.2 statement that matmul communication "is exactly
+// proportional to the sum of the (half-)perimeters".
+func RectCommClosedForm(part *partition.Partition, n int) float64 {
+	return float64(n) * float64(n) * (part.SumHalfPerimeters() - 2)
+}

@@ -1,0 +1,81 @@
+package matmul
+
+import (
+	"errors"
+	"math"
+)
+
+// Section 4.2 notes that "at the notable exception of recently introduced
+// 2.5D schemes [42]" all matmul implementations build on the outer-product
+// algorithm. This file models that exception (Solomonik & Demmel,
+// Euro-Par 2011) so the repository can quantify the remark: with c
+// replicas of the input spread across a √(p/c) × √(p/c) × c grid, the
+// multiply phase moves Θ(n²/√(cp)) words per processor — a √c improvement
+// over the 2D algorithm — at the cost of replicating the inputs c times.
+
+// Comm25DMultiplyTotal returns the total multiply-phase volume of the
+// 2.5D algorithm: 2n²·√(p/c) elements (c = 1 recovers the 2D algorithm's
+// 2n²·(√p-1) up to the resident-data term).
+func Comm25DMultiplyTotal(n float64, p, c int) (float64, error) {
+	if err := check25D(p, c); err != nil {
+		return 0, err
+	}
+	return 2 * n * n * math.Sqrt(float64(p)/float64(c)), nil
+}
+
+// Comm25DReplicationTotal returns the volume spent creating the c input
+// replicas: each extra copy ships both n² inputs once, 2n²·(c-1) in
+// total.
+func Comm25DReplicationTotal(n float64, p, c int) (float64, error) {
+	if err := check25D(p, c); err != nil {
+		return 0, err
+	}
+	return 2 * n * n * float64(c-1), nil
+}
+
+// Comm25DTotal returns multiply + replication volume.
+func Comm25DTotal(n float64, p, c int) (float64, error) {
+	m, err := Comm25DMultiplyTotal(n, p, c)
+	if err != nil {
+		return 0, err
+	}
+	r, err := Comm25DReplicationTotal(n, p, c)
+	if err != nil {
+		return 0, err
+	}
+	return m + r, nil
+}
+
+// Best25DReplication returns the replication factor c ∈ [1, ⌈p^(1/3)⌉]
+// minimizing Comm25DTotal, by direct search (the memory-unconstrained
+// optimum; real deployments cap c by memory).
+func Best25DReplication(n float64, p int) (int, float64, error) {
+	if p < 1 {
+		return 0, 0, errors.New("matmul: need p ≥ 1")
+	}
+	cMax := int(math.Ceil(math.Cbrt(float64(p))))
+	bestC, bestV := 1, math.Inf(1)
+	for c := 1; c <= cMax; c++ {
+		if float64(c) > float64(p) {
+			break
+		}
+		v, err := Comm25DTotal(n, p, c)
+		if err != nil {
+			return 0, 0, err
+		}
+		if v < bestV {
+			bestC, bestV = c, v
+		}
+	}
+	return bestC, bestV, nil
+}
+
+func check25D(p, c int) error {
+	if p < 1 {
+		return errors.New("matmul: need p ≥ 1")
+	}
+	if c < 1 || float64(c) > float64(p) {
+		return errors.New("matmul: replication factor must be in [1, p]")
+	}
+	return nil
+}

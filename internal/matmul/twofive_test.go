@@ -1,0 +1,87 @@
+package matmul
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComm25DReducesToTwoD(t *testing.T) {
+	// c = 1: 2n²√p, the 2D volume up to the resident-data term.
+	const n = 100.0
+	v, err := Comm25DMultiplyTotal(n, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-2*n*n*8) > 1e-9 {
+		t.Errorf("c=1 volume = %v, want 2n²√p = %v", v, 2*n*n*8)
+	}
+	grid := GridCommClosedForm(8, 8, int(n))
+	// 2D grid: n²(8+8-2) = 14n² vs 16n² — same order, smaller because
+	// resident data is never shipped.
+	if grid >= v {
+		t.Errorf("grid closed form %v should be below the 2.5D c=1 model %v", grid, v)
+	}
+}
+
+func TestComm25DMonotoneInReplication(t *testing.T) {
+	const n = 50.0
+	prev := math.Inf(1)
+	for c := 1; c <= 4; c++ {
+		v, err := Comm25DMultiplyTotal(n, 64, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= prev {
+			t.Errorf("multiply volume must fall with c: %v at c=%d", v, c)
+		}
+		prev = v
+	}
+	r1, _ := Comm25DReplicationTotal(n, 64, 1)
+	if r1 != 0 {
+		t.Errorf("c=1 replication cost = %v, want 0", r1)
+	}
+	r4, _ := Comm25DReplicationTotal(n, 64, 4)
+	if r4 != 2*n*n*3 {
+		t.Errorf("c=4 replication cost = %v", r4)
+	}
+}
+
+func TestBest25DReplicationTradeoff(t *testing.T) {
+	// For large p some c > 1 beats c = 1; total at the optimum is below
+	// the c=1 total.
+	const n = 100.0
+	c, v, err := Best25DReplication(n, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 1 {
+		t.Errorf("p=1024 should replicate (c=%d)", c)
+	}
+	v1, _ := Comm25DTotal(n, 1024, 1)
+	if v >= v1 {
+		t.Errorf("optimum %v not below c=1 total %v", v, v1)
+	}
+	// Tiny platforms should not replicate.
+	c2, _, err := Best25DReplication(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != 1 {
+		t.Errorf("p=2 should not replicate (c=%d)", c2)
+	}
+}
+
+func TestComm25DValidation(t *testing.T) {
+	if _, err := Comm25DMultiplyTotal(10, 0, 1); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := Comm25DMultiplyTotal(10, 4, 0); err == nil {
+		t.Error("c=0 should fail")
+	}
+	if _, err := Comm25DMultiplyTotal(10, 4, 5); err == nil {
+		t.Error("c>p should fail")
+	}
+	if _, _, err := Best25DReplication(10, 0); err == nil {
+		t.Error("p=0 should fail")
+	}
+}

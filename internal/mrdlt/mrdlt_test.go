@@ -1,0 +1,196 @@
+package mrdlt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nlfl/internal/platform"
+	"nlfl/internal/stats"
+)
+
+func testJob() Job {
+	return Job{V: 100, Gamma: 0.5, Reducers: 4, ReducerSpeed: 2}
+}
+
+func hetPlat(t *testing.T, seed int64, p int) *platform.Platform {
+	t.Helper()
+	r := stats.NewRNG(seed)
+	ws := make([]platform.Worker, p)
+	for i := range ws {
+		ws[i] = platform.Worker{Speed: 0.5 + 5*r.Float64(), Bandwidth: 0.5 + 5*r.Float64()}
+	}
+	pl, err := platform.New(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestJobValidation(t *testing.T) {
+	cases := []Job{
+		{V: 0, Gamma: 1, Reducers: 1, ReducerSpeed: 1},
+		{V: 10, Gamma: -1, Reducers: 1, ReducerSpeed: 1},
+		{V: 10, Gamma: 1, Reducers: 0, ReducerSpeed: 1},
+		{V: 10, Gamma: 1, Reducers: 1, ReducerSpeed: 0},
+		{V: math.NaN(), Gamma: 1, Reducers: 1, ReducerSpeed: 1},
+	}
+	pl := hetPlat(t, 1, 2)
+	beta := []float64{0.5, 0.5}
+	for _, j := range cases {
+		if _, err := Simulate(pl, j, beta); err == nil {
+			t.Errorf("job %+v should fail", j)
+		}
+	}
+}
+
+func TestSimulateBetaValidation(t *testing.T) {
+	pl := hetPlat(t, 2, 3)
+	job := testJob()
+	if _, err := Simulate(pl, job, []float64{0.5, 0.5}); err == nil {
+		t.Error("short beta should fail")
+	}
+	if _, err := Simulate(pl, job, []float64{0.5, 0.6, 0.2}); err == nil {
+		t.Error("beta not summing to 1 should fail")
+	}
+	if _, err := Simulate(pl, job, []float64{1.5, -0.5, 0}); err == nil {
+		t.Error("negative beta should fail")
+	}
+}
+
+func TestSimulatePhaseOrdering(t *testing.T) {
+	pl := hetPlat(t, 3, 4)
+	res, err := EqualSplit(pl, testJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.MapFinish > 0 && res.ShuffleFinish >= res.MapFinish && res.Makespan >= res.ShuffleFinish) {
+		t.Errorf("phase milestones out of order: %+v", res)
+	}
+}
+
+func TestSimulateHandDerivedCase(t *testing.T) {
+	// One unit-speed unit-bandwidth mapper, one reducer (speed 1), γ=1:
+	// recv 100 → t=100; map → t=200; shuffle 100 units at unit bandwidth
+	// → t=300; reduce 100 units → t=400.
+	pl, err := platform.Homogeneous(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{V: 100, Gamma: 1, Reducers: 1, ReducerSpeed: 1}
+	res, err := Simulate(pl, job, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MapFinish != 200 || res.ShuffleFinish != 300 || res.Makespan != 400 {
+		t.Errorf("milestones = %+v, want 200/300/400", res)
+	}
+}
+
+func TestGammaZeroSkipsShuffleCost(t *testing.T) {
+	pl := hetPlat(t, 4, 3)
+	job := testJob()
+	job.Gamma = 0
+	res, err := EqualSplit(pl, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-res.MapFinish) > 1e-9 {
+		t.Errorf("γ=0: makespan %v should equal map finish %v", res.Makespan, res.MapFinish)
+	}
+}
+
+func TestOptimizeBeatsEqualSplit(t *testing.T) {
+	pl := hetPlat(t, 5, 8)
+	job := testJob()
+	eq, err := EqualSplit(pl, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Optimize(pl, job, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Makespan > eq.Makespan+1e-9 {
+		t.Errorf("optimizer (%v) worse than equal split (%v)", opt.Makespan, eq.Makespan)
+	}
+	speedup, err := SpeedupOverEqual(pl, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup < 1 {
+		t.Errorf("speedup = %v, want ≥ 1", speedup)
+	}
+	// On a clearly heterogeneous platform the gain should be material.
+	if speedup < 1.05 {
+		t.Errorf("speedup = %v, expected ≥ 5%% on heterogeneous mappers", speedup)
+	}
+}
+
+func TestOptimizeHomogeneousNearEqual(t *testing.T) {
+	pl, err := platform.Homogeneous(6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testJob()
+	eq, err := EqualSplit(pl, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Optimize(pl, job, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-port distribution makes even homogeneous optimal slightly
+	// unequal (earlier mappers can take more), so optimize may win — but
+	// never lose.
+	if opt.Makespan > eq.Makespan+1e-9 {
+		t.Errorf("optimizer (%v) worse than equal (%v) on homogeneous platform", opt.Makespan, eq.Makespan)
+	}
+}
+
+// Property: simulation is monotone in volume and the optimizer's beta is
+// always a valid distribution.
+func TestSimulateProperty(t *testing.T) {
+	f := func(seed int64, np uint8) bool {
+		p := int(np%6) + 1
+		r := stats.NewRNG(seed)
+		ws := make([]platform.Worker, p)
+		for i := range ws {
+			ws[i] = platform.Worker{Speed: 0.3 + 4*r.Float64(), Bandwidth: 0.3 + 4*r.Float64()}
+		}
+		pl, err := platform.New(ws)
+		if err != nil {
+			return false
+		}
+		job := Job{V: 10 + 90*r.Float64(), Gamma: r.Float64(), Reducers: 1 + r.Intn(4), ReducerSpeed: 0.5 + r.Float64()}
+		small, err := EqualSplit(pl, job)
+		if err != nil {
+			return false
+		}
+		bigger := job
+		bigger.V *= 2
+		big, err := EqualSplit(pl, bigger)
+		if err != nil {
+			return false
+		}
+		if big.Makespan < small.Makespan {
+			return false
+		}
+		opt, err := Optimize(pl, job, 20)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, b := range opt.Beta {
+			if b < 0 {
+				return false
+			}
+			sum += b
+		}
+		return math.Abs(sum-1) < 1e-6 && opt.Makespan <= small.Makespan+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package nldlt
+
+import (
+	"fmt"
+	"math"
+
+	"nlfl/internal/platform"
+)
+
+// FractionRow is one row of the Section 2 reproduction table: how much of
+// the total work W = N^α a full optimal DLT phase accomplishes on P
+// homogeneous workers, from the closed form and from the solved
+// allocations under both communication models.
+type FractionRow struct {
+	P     int
+	Alpha float64
+	// ClosedForm is 1 - 1/P^(α-1), the paper's unprocessed fraction.
+	ClosedForm float64
+	// EqualSplit is the unprocessed fraction measured from the equal-split
+	// allocation (identical to ClosedForm on homogeneous platforms; kept
+	// as a cross-check).
+	EqualSplit float64
+	// Parallel is the unprocessed fraction from the optimal parallel-links
+	// allocation.
+	Parallel float64
+	// OnePort is the unprocessed fraction from the optimal sequential
+	// single-installment allocation (the [31–35] baseline).
+	OnePort float64
+	// ParallelMakespan and OnePortMakespan record the phase durations.
+	ParallelMakespan float64
+	OnePortMakespan  float64
+}
+
+// FractionSweep computes FractionRows for every (p, α) combination on a
+// homogeneous platform with unit speed and unit bandwidth and load size n.
+// It reproduces the core numbers behind Section 2: as p grows the
+// unprocessed fraction approaches 1 for every α > 1, under every
+// communication model and optimal allocation — the "no free lunch".
+func FractionSweep(ps []int, alphas []float64, n float64) ([]FractionRow, error) {
+	var rows []FractionRow
+	for _, alpha := range alphas {
+		for _, p := range ps {
+			plat, err := platform.Homogeneous(p, 1, 1)
+			if err != nil {
+				return nil, err
+			}
+			l := Load{N: n, Alpha: alpha}
+			eq, err := EqualSplit(plat, l)
+			if err != nil {
+				return nil, err
+			}
+			par, err := OptimalParallel(plat, l)
+			if err != nil {
+				return nil, err
+			}
+			op, err := OptimalOnePort(plat, l, nil)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, FractionRow{
+				P:                p,
+				Alpha:            alpha,
+				ClosedForm:       UnprocessedFraction(p, alpha),
+				EqualSplit:       1 - eq.WorkFraction(),
+				Parallel:         1 - par.WorkFraction(),
+				OnePort:          1 - op.WorkFraction(),
+				ParallelMakespan: par.Makespan,
+				OnePortMakespan:  op.Makespan,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// String renders the row compactly.
+func (r FractionRow) String() string {
+	return fmt.Sprintf("P=%d α=%g closed=%.4f equal=%.4f par=%.4f 1port=%.4f",
+		r.P, r.Alpha, r.ClosedForm, r.EqualSplit, r.Parallel, r.OnePort)
+}
+
+// IllusorySpeedup returns T_seq / T_phase for the equal-split phase on P
+// homogeneous unit workers — the super-linear "speedup" the refuted
+// literature's framing implies. Sequentially the full job takes w·N^α;
+// the phase takes (N/P)c + (N/P)^α·w; for large N the ratio approaches
+// P^α, an impossibility that signals the accounting error: the phase
+// performed only 1/P^(α-1) of the work, so the honest speedup is the
+// illusory one times that fraction — exactly P, the trivial bound.
+func IllusorySpeedup(p int, l Load) (illusory, honest float64) {
+	seq := l.TotalWork() // w = c = 1
+	chunk := l.N / float64(p)
+	phase := chunk + l.ChunkWork(chunk)
+	illusory = seq / phase
+	honest = illusory * math.Pow(float64(p), 1-l.Alpha)
+	return illusory, honest
+}

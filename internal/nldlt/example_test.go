@@ -1,0 +1,30 @@
+package nldlt_test
+
+import (
+	"fmt"
+
+	"nlfl/internal/nldlt"
+	"nlfl/internal/platform"
+)
+
+// The headline equation of Section 2: on P homogeneous workers an
+// equal-split phase of an α-power load accomplishes only 1/P^(α-1) of
+// the work.
+func ExampleUnprocessedFraction() {
+	for _, p := range []int{10, 100, 1000} {
+		fmt.Printf("P=%-5d undone=%.4f\n", p, nldlt.UnprocessedFraction(p, 2))
+	}
+	// Output:
+	// P=10    undone=0.9000
+	// P=100   undone=0.9900
+	// P=1000  undone=0.9990
+}
+
+// Even the optimal allocation cannot escape: the solved schedule's work
+// fraction matches the closed form.
+func ExampleOptimalParallel() {
+	pl, _ := platform.Homogeneous(10, 1, 1)
+	res, _ := nldlt.OptimalParallel(pl, nldlt.Load{N: 1000, Alpha: 2})
+	fmt.Printf("work fraction %.3f\n", res.WorkFraction())
+	// Output: work fraction 0.100
+}

@@ -1,0 +1,416 @@
+package nldlt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nlfl/internal/dessim"
+	"nlfl/internal/platform"
+	"nlfl/internal/stats"
+)
+
+func homPlatform(t *testing.T, p int) *platform.Platform {
+	t.Helper()
+	pl, err := platform.Homogeneous(p, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func hetPlatform(t *testing.T, seed int64, p int) *platform.Platform {
+	t.Helper()
+	r := stats.NewRNG(seed)
+	ws := make([]platform.Worker, p)
+	for i := range ws {
+		ws[i] = platform.Worker{Speed: 0.5 + 4*r.Float64(), Bandwidth: 0.5 + 4*r.Float64()}
+	}
+	pl, err := platform.New(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestLoadValidate(t *testing.T) {
+	cases := []struct {
+		l       Load
+		wantErr bool
+	}{
+		{Load{N: 100, Alpha: 2}, false},
+		{Load{N: 100, Alpha: 1}, false},
+		{Load{N: 0, Alpha: 2}, true},
+		{Load{N: -5, Alpha: 2}, true},
+		{Load{N: 100, Alpha: 0.5}, true},
+		{Load{N: math.NaN(), Alpha: 2}, true},
+		{Load{N: 100, Alpha: math.Inf(1)}, true},
+	}
+	for _, c := range cases {
+		if err := c.l.Validate(); (err != nil) != c.wantErr {
+			t.Errorf("Validate(%+v) err=%v wantErr=%v", c.l, err, c.wantErr)
+		}
+	}
+}
+
+func TestUnprocessedFractionClosedForm(t *testing.T) {
+	cases := []struct {
+		p     int
+		alpha float64
+		want  float64
+	}{
+		{10, 2, 0.9},    // 1 - 1/10
+		{100, 2, 0.99},  // 1 - 1/100
+		{10, 3, 0.99},   // 1 - 1/100
+		{4, 1, 0},       // linear loads lose nothing
+		{1, 2, 0},       // single worker does all the work
+		{100, 1.5, 0.9}, // 1 - 1/10
+	}
+	for _, c := range cases {
+		got := UnprocessedFraction(c.p, c.alpha)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("UnprocessedFraction(%d, %g) = %v, want %v", c.p, c.alpha, got, c.want)
+		}
+	}
+}
+
+func TestMultiInstallmentMakesItWorse(t *testing.T) {
+	// m=1 reduces to the single-phase fraction.
+	if got, want := MultiInstallmentWorkFraction(10, 1, 2), 0.1; math.Abs(got-want) > 1e-12 {
+		t.Errorf("m=1 fraction = %v, want %v", got, want)
+	}
+	// The fraction strictly decreases with m for α > 1 ...
+	prev := 1.0
+	for _, m := range []int{1, 2, 4, 16} {
+		f := MultiInstallmentWorkFraction(8, m, 2)
+		if f >= prev {
+			t.Errorf("fraction should shrink with installments: %v at m=%d", f, m)
+		}
+		prev = f
+	}
+	// ... and is constant 1 for α = 1 (linear loads don't care).
+	for _, m := range []int{1, 3, 9} {
+		if f := MultiInstallmentWorkFraction(8, m, 1); math.Abs(f-1) > 1e-12 {
+			t.Errorf("linear multi-installment fraction = %v, want 1", f)
+		}
+	}
+	// Cross-check against a literal equal-split over m·P virtual workers:
+	// same chunk size, same total work.
+	const alpha = 2.5
+	f := MultiInstallmentWorkFraction(4, 3, alpha)
+	want := UnprocessedFraction(12, alpha)
+	if math.Abs((1-f)-want) > 1e-12 {
+		t.Errorf("(1 - fraction) = %v, want UnprocessedFraction(12) = %v", 1-f, want)
+	}
+}
+
+func TestEqualSplitHomogeneous(t *testing.T) {
+	const n, alpha, p = 1000.0, 2.0, 10
+	pl := homPlatform(t, p)
+	res, err := EqualSplit(pl, Load{N: n, Alpha: alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Makespan = (N/P)c + (N/P)^α w = 100 + 10000.
+	if math.Abs(res.Makespan-10100) > 1e-9 {
+		t.Errorf("makespan = %v, want 10100", res.Makespan)
+	}
+	// Work fraction = 1/P^(α-1) = 0.1.
+	if math.Abs(res.WorkFraction()-0.1) > 1e-12 {
+		t.Errorf("work fraction = %v, want 0.1", res.WorkFraction())
+	}
+	if math.Abs((1-res.WorkFraction())-UnprocessedFraction(p, alpha)) > 1e-12 {
+		t.Error("equal split must match the closed form on homogeneous platforms")
+	}
+}
+
+func TestEqualSplitRejectsBadLoad(t *testing.T) {
+	pl := homPlatform(t, 2)
+	if _, err := EqualSplit(pl, Load{N: -1, Alpha: 2}); err == nil {
+		t.Error("negative load should fail")
+	}
+}
+
+func TestOptimalParallelHomogeneousEqualsEqualSplit(t *testing.T) {
+	pl := homPlatform(t, 8)
+	l := Load{N: 256, Alpha: 2}
+	opt, err := OptimalParallel(pl, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, _ := EqualSplit(pl, l)
+	if math.Abs(opt.Makespan-eq.Makespan) > 1e-6*eq.Makespan {
+		t.Errorf("optimal %v vs equal split %v on homogeneous platform", opt.Makespan, eq.Makespan)
+	}
+	for i, x := range opt.Data {
+		if math.Abs(x-32) > 1e-6 {
+			t.Errorf("chunk %d = %v, want 32", i, x)
+		}
+	}
+}
+
+func TestOptimalParallelEqualFinishTimes(t *testing.T) {
+	pl := hetPlatform(t, 1, 7)
+	l := Load{N: 500, Alpha: 2.5}
+	res, err := OptimalParallel(pl, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range res.Data {
+		w := pl.Worker(i)
+		finish := w.CommTime(x) + w.PowerCompTime(x, l.Alpha)
+		if math.Abs(finish-res.Makespan) > 1e-6*res.Makespan {
+			t.Errorf("worker %d finish %v vs makespan %v", i, finish, res.Makespan)
+		}
+	}
+}
+
+func TestOptimalParallelBeatsEqualSplitHeterogeneous(t *testing.T) {
+	pl := hetPlatform(t, 2, 10)
+	l := Load{N: 300, Alpha: 2}
+	opt, err := OptimalParallel(pl, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, _ := EqualSplit(pl, l)
+	if opt.Makespan > eq.Makespan+1e-6 {
+		t.Errorf("optimal %v worse than equal split %v", opt.Makespan, eq.Makespan)
+	}
+}
+
+func TestOptimalOnePortEqualFinishTimes(t *testing.T) {
+	pl := hetPlatform(t, 3, 5)
+	l := Load{N: 200, Alpha: 2}
+	res, err := OptimalOnePort(pl, l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	offset := 0.0
+	for _, i := range res.Order {
+		w := pl.Worker(i)
+		offset += w.CommTime(res.Data[i])
+		finish := offset + w.PowerCompTime(res.Data[i], l.Alpha)
+		if math.Abs(finish-res.Makespan) > 1e-5*res.Makespan {
+			t.Errorf("worker %d finish %v vs makespan %v", i, finish, res.Makespan)
+		}
+	}
+}
+
+func TestOptimalOnePortSlowerThanParallel(t *testing.T) {
+	pl := hetPlatform(t, 4, 6)
+	l := Load{N: 150, Alpha: 2}
+	par, err := OptimalParallel(pl, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := OptimalOnePort(pl, l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Makespan < par.Makespan-1e-6*par.Makespan {
+		t.Errorf("one-port %v faster than parallel %v", op.Makespan, par.Makespan)
+	}
+}
+
+func TestOptimalOnePortOrderValidation(t *testing.T) {
+	pl := homPlatform(t, 3)
+	l := Load{N: 10, Alpha: 2}
+	for _, order := range [][]int{{0}, {0, 0, 1}, {0, 1, 5}} {
+		if _, err := OptimalOnePort(pl, l, order); err == nil {
+			t.Errorf("order %v should fail", order)
+		}
+	}
+}
+
+func TestResultChunksMatchSimulator(t *testing.T) {
+	pl := hetPlatform(t, 5, 4)
+	l := Load{N: 100, Alpha: 2}
+
+	par, err := OptimalParallel(pl, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := dessim.RunSingleRound(pl, par.Chunks(), dessim.ParallelLinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tl.Makespan-par.Makespan) > 1e-5*par.Makespan {
+		t.Errorf("parallel: simulated %v vs solver %v", tl.Makespan, par.Makespan)
+	}
+
+	op, err := OptimalOnePort(pl, l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl2, err := dessim.RunSingleRound(pl, op.Chunks(), dessim.OnePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tl2.Makespan-op.Makespan) > 1e-5*op.Makespan {
+		t.Errorf("one-port: simulated %v vs solver %v", tl2.Makespan, op.Makespan)
+	}
+}
+
+func TestWorkFractionVanishesWithP(t *testing.T) {
+	// The headline negative result: even with an optimal allocation, the
+	// processed fraction tends to 0 as P grows.
+	l := Load{N: 10000, Alpha: 2}
+	prev := 1.1
+	for _, p := range []int{1, 2, 4, 16, 64, 256} {
+		pl := homPlatform(t, p)
+		res, err := OptimalParallel(pl, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frac := res.WorkFraction()
+		want := 1 / float64(p) // 1/P^(α-1) with α=2
+		if math.Abs(frac-want) > 1e-3 {
+			t.Errorf("P=%d work fraction = %v, want ≈ %v", p, frac, want)
+		}
+		if frac >= prev {
+			t.Errorf("work fraction must decrease with P: %v after %v", frac, prev)
+		}
+		prev = frac
+	}
+}
+
+func TestFractionSweep(t *testing.T) {
+	rows, err := FractionSweep([]int{2, 10, 100}, []float64{1.5, 2, 3}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows, want 9", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.EqualSplit-r.ClosedForm) > 1e-9 {
+			t.Errorf("%s: equal split disagrees with closed form", r)
+		}
+		if math.Abs(r.Parallel-r.ClosedForm) > 1e-3 {
+			t.Errorf("%s: optimal parallel disagrees with closed form", r)
+		}
+		// One-port serialization forces unequal chunks; by convexity of
+		// x^α that *raises* ΣXᵢ^α, so its unprocessed fraction can be a
+		// little below the parallel model's — but it must stay far from 0
+		// for any sizeable platform (the no-free-lunch still bites), and
+		// it pays for the extra work with a strictly larger makespan.
+		if r.P >= 10 && r.Alpha >= 1.5 && r.OnePort < 0.5 {
+			t.Errorf("%s: one-port unprocessed fraction suspiciously small", r)
+		}
+		if r.OnePortMakespan < r.ParallelMakespan-1e-6 {
+			t.Errorf("%s: one-port makespan should not beat parallel", r)
+		}
+		if r.String() == "" {
+			t.Error("empty row rendering")
+		}
+	}
+	// α=2, P=100 → 0.99 (the paper's "all the work remains" regime).
+	found := false
+	for _, r := range rows {
+		if r.P == 100 && r.Alpha == 2 {
+			found = true
+			if math.Abs(r.ClosedForm-0.99) > 1e-12 {
+				t.Errorf("closed form = %v, want 0.99", r.ClosedForm)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing P=100 α=2 row")
+	}
+}
+
+// Property: the optimal parallel allocation is feasible and its makespan
+// is no worse than equal split, for arbitrary heterogeneous platforms and
+// α ∈ [1, 3].
+func TestOptimalParallelProperty(t *testing.T) {
+	f := func(seed int64, np uint8, alphaRaw uint8) bool {
+		p := int(np%12) + 1
+		alpha := 1 + 2*float64(alphaRaw)/255
+		r := stats.NewRNG(seed)
+		ws := make([]platform.Worker, p)
+		for i := range ws {
+			ws[i] = platform.Worker{Speed: 0.2 + 5*r.Float64(), Bandwidth: 0.2 + 5*r.Float64()}
+		}
+		pl, err := platform.New(ws)
+		if err != nil {
+			return false
+		}
+		l := Load{N: 10 + 100*r.Float64(), Alpha: alpha}
+		opt, err := OptimalParallel(pl, l)
+		if err != nil || opt.Validate() != nil {
+			return false
+		}
+		eq, err := EqualSplit(pl, l)
+		if err != nil {
+			return false
+		}
+		return opt.Makespan <= eq.Makespan*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: work fraction never exceeds 1 and equals 1 only for α=1 or
+// single-worker platforms.
+func TestWorkFractionBoundsProperty(t *testing.T) {
+	f := func(seed int64, np uint8) bool {
+		p := int(np%16) + 2
+		pl, err := platform.Homogeneous(p, 1, 1)
+		if err != nil {
+			return false
+		}
+		r := stats.NewRNG(seed)
+		alpha := 1 + 2*r.Float64()
+		l := Load{N: 100, Alpha: alpha}
+		res, err := OptimalParallel(pl, l)
+		if err != nil {
+			return false
+		}
+		frac := res.WorkFraction()
+		if frac <= 0 || frac > 1+1e-9 {
+			return false
+		}
+		if alpha > 1.05 && frac > 0.999 {
+			return false // should lose work on ≥2 workers with α > 1
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIllusorySpeedup(t *testing.T) {
+	l := Load{N: 1e6, Alpha: 2}
+	illusory, honest := IllusorySpeedup(100, l)
+	// Superlinear illusion: near P^α = 10⁴ for large N.
+	if illusory < 5000 {
+		t.Errorf("illusory speedup = %v, expected ≫ P", illusory)
+	}
+	// Honest speedup accounts for the vanished work: at most P.
+	if honest > 100+1e-6 {
+		t.Errorf("honest speedup = %v must not exceed P", honest)
+	}
+	if honest < 90 {
+		t.Errorf("honest speedup = %v, expected ≈ P for large N", honest)
+	}
+	// Relationship: honest = illusory / P^(α-1).
+	if math.Abs(honest-illusory/100) > 1e-9*illusory {
+		t.Error("speedup accounting identity broken")
+	}
+	// Linear loads have no illusion.
+	il, ho := IllusorySpeedup(10, Load{N: 1000, Alpha: 1})
+	if math.Abs(il-ho) > 1e-12 {
+		t.Errorf("α=1: illusory %v != honest %v", il, ho)
+	}
+}

@@ -1,0 +1,22 @@
+package outer_test
+
+import (
+	"fmt"
+
+	"nlfl/internal/outer"
+	"nlfl/internal/platform"
+)
+
+// The Section 4.1 closed form: Comm_hom = 2N·√(Σsᵢ/s₁).
+func ExampleCommhom() {
+	pl, _ := platform.FromSpeeds([]float64{1, 3})
+	r := outer.Commhom(pl, 100)
+	fmt.Printf("volume %.0f = 2N√(4/1)\n", r.Volume)
+	// Output: volume 400 = 2N√(4/1)
+}
+
+// The Section 4.1.3 bound on the savings of heterogeneity-awareness.
+func ExampleRhoLowerBound() {
+	fmt.Printf("%.2f\n", outer.RhoLowerBound(100))
+	// Output: 9.18
+}

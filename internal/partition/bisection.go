@@ -1,0 +1,55 @@
+package partition
+
+import "sort"
+
+// RecursiveBisection partitions the unit square by repeated guillotine
+// cuts: the area set is split into two halves of (nearly) equal total
+// area, the current rectangle is cut proportionally along its longer
+// side, and both halves recurse. This is the classical Berger–Bokhari
+// style decomposition; it carries no approximation guarantee but is the
+// natural baseline between the naive √p heuristic and the column-based
+// DP, and unlike the DP it produces nested (hierarchical) layouts.
+func RecursiveBisection(areas []float64) (*Partition, error) {
+	norm, err := Normalize(areas)
+	if err != nil {
+		return nil, err
+	}
+	part := &Partition{Areas: norm}
+	idxs := make([]int, len(norm))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	// Sort by decreasing area so the greedy halving balances well.
+	sort.SliceStable(idxs, func(a, b int) bool { return norm[idxs[a]] > norm[idxs[b]] })
+	bisect(norm, idxs, 0, 0, 1, 1, part)
+	return part, nil
+}
+
+// bisect assigns the areas of idxs to the rectangle (x, y, w, h).
+func bisect(norm []float64, idxs []int, x, y, w, h float64, out *Partition) {
+	if len(idxs) == 1 {
+		out.Rects = append(out.Rects, Rect{X: x, Y: y, W: w, H: h, Index: idxs[0]})
+		return
+	}
+	// Greedy halving: walk the (sorted) areas, always adding to the
+	// lighter side, preserving order within sides.
+	var left, right []int
+	var aLeft, aRight float64
+	for _, i := range idxs {
+		if aLeft <= aRight {
+			left = append(left, i)
+			aLeft += norm[i]
+		} else {
+			right = append(right, i)
+			aRight += norm[i]
+		}
+	}
+	frac := aLeft / (aLeft + aRight)
+	if w >= h {
+		bisect(norm, left, x, y, w*frac, h, out)
+		bisect(norm, right, x+w*frac, y, w*(1-frac), h, out)
+	} else {
+		bisect(norm, left, x, y, w, h*frac, out)
+		bisect(norm, right, x, y+h*frac, w, h*(1-frac), out)
+	}
+}

@@ -1,0 +1,103 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nlfl/internal/stats"
+)
+
+func TestRecursiveBisectionValid(t *testing.T) {
+	r := stats.NewRNG(31)
+	for _, p := range []int{1, 2, 3, 7, 16, 50} {
+		areas := stats.SampleN(stats.LogNormal{Mu: 0, Sigma: 1}, r, p)
+		part, err := RecursiveBisection(areas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := part.Validate(); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		norm, _ := Normalize(areas)
+		if part.SumHalfPerimeters() < LowerBound(norm)-1e-9 {
+			t.Errorf("p=%d: cost below LB", p)
+		}
+	}
+}
+
+func TestRecursiveBisectionPerfectGrid(t *testing.T) {
+	// Four equal areas: two cuts give the 2×2 grid, cost 4 = LB.
+	part, err := RecursiveBisection([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(part.SumHalfPerimeters()-4) > 1e-9 {
+		t.Errorf("cost = %v, want 4", part.SumHalfPerimeters())
+	}
+}
+
+func TestRecursiveBisectionVsColumnDP(t *testing.T) {
+	// Bisection is a sane baseline: on heterogeneous inputs it should be
+	// within the 7/4 guarantee region most of the time, but the DP should
+	// win on average. Measure both over many trials.
+	r := stats.NewRNG(32)
+	var dpBetter, bisBetter int
+	var worstBis float64 = 1
+	for trial := 0; trial < 60; trial++ {
+		areas := stats.SampleN(stats.LogNormal{Mu: 0, Sigma: 1.2}, r, 20)
+		norm, _ := Normalize(areas)
+		lb := LowerBound(norm)
+		dp, err := PeriSum(areas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bis, err := RecursiveBisection(areas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp.SumHalfPerimeters() < bis.SumHalfPerimeters()-1e-9 {
+			dpBetter++
+		} else if bis.SumHalfPerimeters() < dp.SumHalfPerimeters()-1e-9 {
+			bisBetter++
+		}
+		if ratio := bis.SumHalfPerimeters() / lb; ratio > worstBis {
+			worstBis = ratio
+		}
+	}
+	if dpBetter <= bisBetter {
+		t.Errorf("column DP should usually win: dp=%d bisection=%d", dpBetter, bisBetter)
+	}
+	if worstBis > 1.5 {
+		t.Errorf("bisection worst ratio %v suspiciously bad", worstBis)
+	}
+}
+
+func TestRecursiveBisectionRejectsBadInput(t *testing.T) {
+	if _, err := RecursiveBisection(nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := RecursiveBisection([]float64{1, 0}); err == nil {
+		t.Error("zero area should fail")
+	}
+}
+
+// Property: bisection always yields a valid tiling with prescribed areas.
+func TestRecursiveBisectionProperty(t *testing.T) {
+	f := func(seed int64, np uint8) bool {
+		p := int(np%40) + 1
+		r := stats.NewRNG(seed)
+		areas := make([]float64, p)
+		for i := range areas {
+			areas[i] = 0.05 + 5*r.Float64()
+		}
+		part, err := RecursiveBisection(areas)
+		if err != nil {
+			return false
+		}
+		return part.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

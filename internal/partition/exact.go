@@ -1,0 +1,82 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// MaxGuillotineP bounds the exhaustive optimal search: the recursion
+// enumerates every guillotine cut tree, (2p-3)!!·2^(p-1) of them, so it is
+// only tractable for small p.
+const MaxGuillotineP = 8
+
+// GuillotineOptimal returns the minimum sum of half-perimeters over all
+// *guillotine* partitions (recursive straight cuts through the full
+// current rectangle) of the unit square into the given areas. Guillotine
+// partitions strictly contain column-based ones, so this is a tighter
+// reference than PeriSum for quantifying the column-based DP's gap to
+// optimality (the general problem is NP-complete, [41]).
+func GuillotineOptimal(areas []float64) (float64, error) {
+	norm, err := Normalize(areas)
+	if err != nil {
+		return 0, err
+	}
+	p := len(norm)
+	if p > MaxGuillotineP {
+		return 0, fmt.Errorf("partition: guillotine search limited to p ≤ %d, got %d", MaxGuillotineP, p)
+	}
+	// areaOf[mask] caches subset areas.
+	full := (1 << p) - 1
+	areaOf := make([]float64, full+1)
+	for mask := 1; mask <= full; mask++ {
+		low := mask & (-mask)
+		areaOf[mask] = areaOf[mask^low] + norm[bits.TrailingZeros32(uint32(low))]
+	}
+	var solve func(mask int, w, h float64) float64
+	solve = func(mask int, w, h float64) float64 {
+		if mask&(mask-1) == 0 {
+			return w + h
+		}
+		best := math.Inf(1)
+		// Enumerate proper submasks containing the lowest set bit (each
+		// unordered split once).
+		low := mask & (-mask)
+		rest := mask ^ low
+		for sub := (rest - 1) & rest; ; sub = (sub - 1) & rest {
+			s1 := sub | low // proper: sub < rest, so s1 never equals mask
+			s2 := mask ^ s1
+			frac := areaOf[s1] / areaOf[mask]
+			// Vertical cut: s1 gets the left w·frac slice.
+			v := solve(s1, w*frac, h) + solve(s2, w*(1-frac), h)
+			if v < best {
+				best = v
+			}
+			// Horizontal cut.
+			hz := solve(s1, w, h*frac) + solve(s2, w, h*(1-frac))
+			if hz < best {
+				best = hz
+			}
+			if sub == 0 {
+				break
+			}
+		}
+		return best
+	}
+	return solve(full, 1, 1), nil
+}
+
+// ColumnGapToGuillotine returns (PeriSum cost)/(guillotine optimum) for
+// one area vector — the measured price of restricting to column-based
+// layouts.
+func ColumnGapToGuillotine(areas []float64) (float64, error) {
+	ps, err := PeriSum(areas)
+	if err != nil {
+		return 0, err
+	}
+	opt, err := GuillotineOptimal(areas)
+	if err != nil {
+		return 0, err
+	}
+	return ps.SumHalfPerimeters() / opt, nil
+}

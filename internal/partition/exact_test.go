@@ -1,0 +1,96 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"nlfl/internal/stats"
+)
+
+func TestGuillotineOptimalKnownCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		areas []float64
+		want  float64
+	}{
+		{"single", []float64{1}, 2},
+		{"two halves", []float64{1, 1}, 3},
+		{"four quarters", []float64{1, 1, 1, 1}, 4},
+		// Nine equal areas tile as a 3×3 grid: 9·(2/3) = 6.
+		{"nine", []float64{1, 1, 1, 1, 1, 1, 1, 1, 1}, 0}, // p=9 > cap, skipped below
+	}
+	for _, c := range cases {
+		if len(c.areas) > MaxGuillotineP {
+			if _, err := GuillotineOptimal(c.areas); err == nil {
+				t.Errorf("%s: p > cap should fail", c.name)
+			}
+			continue
+		}
+		got, err := GuillotineOptimal(c.areas)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: optimum = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestGuillotineBeatsColumnDPWhenPossible(t *testing.T) {
+	// 5 areas {4,1,1,1,1}/8: a guillotine layout can nest the small
+	// rectangles around the big one; the optimum must be ≤ the
+	// column-based DP and ≥ the lower bound.
+	areas := []float64{4, 1, 1, 1, 1}
+	opt, err := GuillotineOptimal(areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := PeriSum(areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, _ := Normalize(areas)
+	lb := LowerBound(norm)
+	if opt > dp.SumHalfPerimeters()+1e-9 {
+		t.Errorf("guillotine optimum %v above column DP %v", opt, dp.SumHalfPerimeters())
+	}
+	if opt < lb-1e-9 {
+		t.Errorf("guillotine optimum %v below LB %v", opt, lb)
+	}
+}
+
+func TestColumnGapToGuillotineSmall(t *testing.T) {
+	// The ablation headline: across random instances the column-based DP
+	// stays within a few percent of the guillotine optimum.
+	r := stats.NewRNG(13)
+	var worst float64 = 1
+	for trial := 0; trial < 25; trial++ {
+		p := 2 + r.Intn(5) // p in [2,6]
+		areas := stats.SampleN(stats.LogNormal{Mu: 0, Sigma: 1}, r, p)
+		gap, err := ColumnGapToGuillotine(areas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap < 1-1e-9 {
+			t.Fatalf("column DP below the guillotine optimum: gap %v (areas %v)", gap, areas)
+		}
+		if gap > worst {
+			worst = gap
+		}
+	}
+	if worst > 1.1 {
+		t.Errorf("column DP up to %v× the guillotine optimum, expected ≤ 1.1", worst)
+	}
+}
+
+func TestGuillotineValidation(t *testing.T) {
+	if _, err := GuillotineOptimal(nil); err == nil {
+		t.Error("empty areas should fail")
+	}
+	if _, err := GuillotineOptimal([]float64{1, -1}); err == nil {
+		t.Error("negative area should fail")
+	}
+	if _, err := ColumnGapToGuillotine([]float64{}); err == nil {
+		t.Error("empty gap computation should fail")
+	}
+}

@@ -1,0 +1,22 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"nlfl/internal/partition"
+)
+
+// Partitioning the unit square for four workers, one of them three times
+// faster than the rest: PERI-SUM keeps every rectangle close to square.
+func ExamplePeriSum() {
+	part, _ := partition.PeriSum([]float64{1, 1, 1, 3})
+	norm, _ := partition.Normalize([]float64{1, 1, 1, 3})
+	fmt.Printf("Ĉ = %.4f, LB = %.4f\n", part.SumHalfPerimeters(), partition.LowerBound(norm))
+	// Output: Ĉ = 4.0000, LB = 3.8637
+}
+
+// The trivial lower bound: every rectangle is at best a square.
+func ExampleLowerBound() {
+	fmt.Printf("%.1f\n", partition.LowerBound([]float64{0.25, 0.25, 0.25, 0.25}))
+	// Output: 4.0
+}

@@ -1,0 +1,63 @@
+package partition
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPeriSum drives the partitioner with arbitrary area vectors decoded
+// from raw bytes: whatever survives Normalize must produce a valid tiling
+// within the published guarantee.
+func FuzzPeriSum(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4})
+	f.Add([]byte{255})
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add([]byte{200, 1, 1, 1, 200})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 64 {
+			t.Skip()
+		}
+		areas := make([]float64, len(raw))
+		for i, b := range raw {
+			// Spread over five orders of magnitude.
+			areas[i] = math.Pow(10, float64(b)/255*5-2)
+		}
+		part, err := PeriSum(areas)
+		if err != nil {
+			t.Fatalf("PeriSum rejected positive areas: %v", err)
+		}
+		if err := part.Validate(); err != nil {
+			t.Fatalf("invalid partition for %v: %v", areas, err)
+		}
+		norm, err := Normalize(areas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := LowerBound(norm)
+		if c := part.SumHalfPerimeters(); c < lb-1e-9 || c > 1+1.25*lb+1e-9 {
+			t.Fatalf("cost %v outside [LB, 1+1.25·LB] = [%v, %v]", c, lb, 1+1.25*lb)
+		}
+	})
+}
+
+// FuzzRecursiveBisection does the same for the bisection partitioner.
+func FuzzRecursiveBisection(f *testing.F) {
+	f.Add([]byte{9, 9, 9})
+	f.Add([]byte{1, 250, 3, 77})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 48 {
+			t.Skip()
+		}
+		areas := make([]float64, len(raw))
+		for i, b := range raw {
+			areas[i] = 0.01 + float64(b)
+		}
+		part, err := RecursiveBisection(areas)
+		if err != nil {
+			t.Fatalf("rejected positive areas: %v", err)
+		}
+		if err := part.Validate(); err != nil {
+			t.Fatalf("invalid partition for %v: %v", areas, err)
+		}
+	})
+}

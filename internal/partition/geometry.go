@@ -1,0 +1,196 @@
+// Package partition implements the rectangle-partitioning algorithms
+// behind the paper's Heterogeneous Blocks strategy (Section 4.1.2).
+//
+// The problem, introduced by Beaumont, Boudet, Rastello and Robert
+// ("Partitioning a square into rectangles: NP-completeness and
+// approximation algorithms", Algorithmica 34(3), 2002 — the paper's
+// reference [41]): partition the unit square into p non-overlapping
+// rectangles of prescribed areas a₁…a_p (Σaᵢ = 1), minimizing either the
+// sum of the half-perimeters (PERI-SUM) or their maximum (PERI-MAX).
+//
+// In the outer-product/matrix-multiplication setting, rectangle i's area
+// is worker i's normalized speed xᵢ (perfect load balance) and its
+// half-perimeter is the amount of vector data the worker must receive, so
+// PERI-SUM is exactly the total communication volume. The trivial lower
+// bound is LB = 2Σ√aᵢ (every rectangle is at best a square); the
+// column-based algorithm reproduced here guarantees Ĉ ≤ 1 + (5/4)·LB,
+// hence Ĉ ≤ (7/4)·LB since LB ≥ 2, and is asymptotically within 5/4.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Rect is an axis-aligned rectangle inside the unit square.
+type Rect struct {
+	// X, Y locate the lower-left corner; W, H are width and height.
+	X, Y, W, H float64
+	// Index is the prescribed-area index this rectangle serves.
+	Index int
+}
+
+// Area returns W·H.
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// HalfPerimeter returns W + H — the communication cost of the processor
+// assigned this rectangle (it needs W·N elements of one vector and H·N of
+// the other, per Section 4.1.2).
+func (r Rect) HalfPerimeter() float64 { return r.W + r.H }
+
+// String renders the rectangle compactly.
+func (r Rect) String() string {
+	return fmt.Sprintf("rect[%d]{x=%.4g y=%.4g w=%.4g h=%.4g}", r.Index, r.X, r.Y, r.W, r.H)
+}
+
+// Partition is a set of rectangles intended to tile the unit square, one
+// per prescribed area.
+type Partition struct {
+	Rects []Rect
+	// Areas echoes the prescribed (normalized) areas, indexed like the
+	// original request.
+	Areas []float64
+}
+
+// SumHalfPerimeters returns Ĉ = Σ (wᵢ + hᵢ), the PERI-SUM objective.
+func (p *Partition) SumHalfPerimeters() float64 {
+	s := 0.0
+	for _, r := range p.Rects {
+		s += r.HalfPerimeter()
+	}
+	return s
+}
+
+// MaxHalfPerimeter returns max (wᵢ + hᵢ), the PERI-MAX objective.
+func (p *Partition) MaxHalfPerimeter() float64 {
+	m := 0.0
+	for _, r := range p.Rects {
+		if hp := r.HalfPerimeter(); hp > m {
+			m = hp
+		}
+	}
+	return m
+}
+
+// HalfPerimeterOf returns the half-perimeter of the rectangle serving
+// prescribed-area index i.
+func (p *Partition) HalfPerimeterOf(i int) float64 {
+	for _, r := range p.Rects {
+		if r.Index == i {
+			return r.HalfPerimeter()
+		}
+	}
+	return math.NaN()
+}
+
+const geomTol = 1e-9
+
+// Validate checks that the partition is an exact tiling: every prescribed
+// area is served by exactly one rectangle of matching area, rectangles lie
+// inside the unit square, do not overlap pairwise, and their areas sum
+// to 1. (Equal total area + no overlap + containment ⇒ exact cover.)
+func (p *Partition) Validate() error {
+	if len(p.Rects) != len(p.Areas) {
+		return fmt.Errorf("partition: %d rects for %d areas", len(p.Rects), len(p.Areas))
+	}
+	seen := make([]bool, len(p.Areas))
+	total := 0.0
+	for _, r := range p.Rects {
+		if r.Index < 0 || r.Index >= len(p.Areas) {
+			return fmt.Errorf("partition: %v has out-of-range index", r)
+		}
+		if seen[r.Index] {
+			return fmt.Errorf("partition: area %d served twice", r.Index)
+		}
+		seen[r.Index] = true
+		if r.W <= 0 || r.H <= 0 {
+			return fmt.Errorf("partition: %v is degenerate", r)
+		}
+		if r.X < -geomTol || r.Y < -geomTol || r.X+r.W > 1+geomTol || r.Y+r.H > 1+geomTol {
+			return fmt.Errorf("partition: %v escapes the unit square", r)
+		}
+		if math.Abs(r.Area()-p.Areas[r.Index]) > 1e-6*(1+p.Areas[r.Index]) {
+			return fmt.Errorf("partition: %v has area %v, prescribed %v", r, r.Area(), p.Areas[r.Index])
+		}
+		total += r.Area()
+	}
+	if math.Abs(total-1) > 1e-6 {
+		return fmt.Errorf("partition: areas sum to %v, want 1", total)
+	}
+	for i := 0; i < len(p.Rects); i++ {
+		for j := i + 1; j < len(p.Rects); j++ {
+			if overlaps(p.Rects[i], p.Rects[j]) {
+				return fmt.Errorf("partition: %v overlaps %v", p.Rects[i], p.Rects[j])
+			}
+		}
+	}
+	return nil
+}
+
+// overlaps reports whether two rectangles share interior area (touching
+// edges do not count).
+func overlaps(a, b Rect) bool {
+	return a.X < b.X+b.W-geomTol && b.X < a.X+a.W-geomTol &&
+		a.Y < b.Y+b.H-geomTol && b.Y < a.Y+a.H-geomTol
+}
+
+// LowerBound returns LB = 2Σ√aᵢ for normalized areas: each rectangle's
+// half-perimeter is at least twice the square root of its area (squares
+// are optimal), so no partition can communicate less.
+func LowerBound(areas []float64) float64 {
+	s := 0.0
+	for _, a := range areas {
+		s += math.Sqrt(a)
+	}
+	return 2 * s
+}
+
+// Normalize scales positive areas to sum to 1; it errors on empty input or
+// non-positive entries.
+func Normalize(areas []float64) ([]float64, error) {
+	if len(areas) == 0 {
+		return nil, errors.New("partition: no areas")
+	}
+	sum := 0.0
+	for i, a := range areas {
+		if a <= 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+			return nil, fmt.Errorf("partition: area %d is %v", i, a)
+		}
+		sum += a
+	}
+	out := make([]float64, len(areas))
+	for i, a := range areas {
+		out[i] = a / sum
+	}
+	return out, nil
+}
+
+// sortedIndex pairs an area with its original position.
+type sortedIndex struct {
+	area float64
+	idx  int
+}
+
+// sortAreasDescending returns (area, original index) pairs sorted by
+// non-increasing area, breaking ties by index for determinism.
+func sortAreasDescending(areas []float64) []sortedIndex {
+	out := make([]sortedIndex, len(areas))
+	for i, a := range areas {
+		out[i] = sortedIndex{area: a, idx: i}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].area > out[j].area })
+	return out
+}
+
+// Columns returns the number of distinct column x-origins in the
+// partition — for column-based layouts, the C the DP selected (an
+// introspection hook for the ablation reports).
+func (p *Partition) Columns() int {
+	seen := map[float64]bool{}
+	for _, r := range p.Rects {
+		seen[r.X] = true
+	}
+	return len(seen)
+}

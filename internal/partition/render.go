@@ -1,0 +1,47 @@
+package partition
+
+import (
+	"fmt"
+	"strings"
+)
+
+// glyphs label rectangles in ASCII renderings (cycled when p > len).
+const glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// ASCII renders the partition as a width×height character grid, each cell
+// showing the glyph of the rectangle owning its center — the executable
+// counterpart of the paper's Figure 2 footprint schematics.
+func (p *Partition) ASCII(width, height int) string {
+	if width <= 0 {
+		width = 48
+	}
+	if height <= 0 {
+		height = 16
+	}
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	for row := 0; row < height; row++ {
+		b.WriteByte('|')
+		// Render top row of the drawing as the top of the unit square
+		// (y close to 1).
+		y := 1 - (float64(row)+0.5)/float64(height)
+		for col := 0; col < width; col++ {
+			x := (float64(col) + 0.5) / float64(width)
+			g := byte('?')
+			for _, r := range p.Rects {
+				if x >= r.X && x <= r.X+r.W && y >= r.Y && y <= r.Y+r.H {
+					g = glyphs[r.Index%len(glyphs)]
+					break
+				}
+			}
+			b.WriteByte(g)
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	for _, r := range p.Rects {
+		fmt.Fprintf(&b, "  %c: worker %d  area=%.4f  half-perimeter=%.4f\n",
+			glyphs[r.Index%len(glyphs)], r.Index+1, r.Area(), r.HalfPerimeter())
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestASCIIRendering(t *testing.T) {
+	p, err := PeriSum([]float64{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.ASCII(40, 10)
+	if strings.Contains(out, "?") {
+		t.Errorf("unowned cells in rendering:\n%s", out)
+	}
+	for _, g := range []string{"0", "1", "2"} {
+		if !strings.Contains(out, g) {
+			t.Errorf("glyph %s missing:\n%s", g, out)
+		}
+	}
+	if !strings.Contains(out, "half-perimeter") {
+		t.Error("legend missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// border + 10 rows + border + 3 legend lines.
+	if len(lines) != 15 {
+		t.Errorf("expected 15 lines, got %d", len(lines))
+	}
+}
+
+func TestASCIIDefaults(t *testing.T) {
+	p, err := PeriSum([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.ASCII(0, 0)
+	if !strings.Contains(out, "0") {
+		t.Errorf("default-size rendering broken:\n%s", out)
+	}
+}
+
+func TestASCIIAreaProportions(t *testing.T) {
+	// A 3:1 split: the bigger glyph should cover ≈ 3× the cells.
+	p, err := PeriSum([]float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.ASCII(40, 20)
+	big := strings.Count(out, "0") - 1 // minus the legend occurrence
+	small := strings.Count(out, "1") - 1
+	ratio := float64(big) / float64(small)
+	if ratio < 2.5 || ratio > 3.6 {
+		t.Errorf("glyph ratio = %v, want ≈3", ratio)
+	}
+}
+
+func TestASCIIGlyphCycling(t *testing.T) {
+	// More rectangles than glyphs must not panic and must reuse glyphs.
+	areas := make([]float64, len(glyphs)+5)
+	for i := range areas {
+		areas[i] = 1
+	}
+	p, err := PeriSum(areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := p.ASCII(30, 10); out == "" {
+		t.Error("empty rendering")
+	}
+}

@@ -1,0 +1,245 @@
+// Package plot renders experiment results as ASCII line charts and
+// machine-readable CSV. The paper's Figure 4 panels are gnuplot charts of
+// "ratio to the communication lower bound" versus "number of processors"
+// with error bars; stdlib-only Go has no plotting ecosystem, so this
+// package is the substitution documented in DESIGN.md: identical series
+// values, terminal rendering.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (X, Y) sample with an optional symmetric error bar.
+type Point struct {
+	X, Y float64
+	Err  float64 // standard deviation (0 for none)
+}
+
+// Series is a named sequence of points.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point to the series.
+func (s *Series) Add(x, y, err float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y, Err: err})
+}
+
+// MinMax returns the bounding box of the series including error bars.
+// Empty series yield an inverted box (+Inf mins, -Inf maxes).
+func (s *Series) MinMax() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, p := range s.Points {
+		xmin = math.Min(xmin, p.X)
+		xmax = math.Max(xmax, p.X)
+		ymin = math.Min(ymin, p.Y-p.Err)
+		ymax = math.Max(ymax, p.Y+p.Err)
+	}
+	return
+}
+
+// Chart is a collection of series with axis labels, rendered on a fixed
+// character grid.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area width in columns (default 72)
+	Height int // plot area height in rows (default 20)
+	// LogY renders the y axis in log₁₀ scale (non-positive values are
+	// clamped to the smallest positive datum). Useful when series span
+	// orders of magnitude, like the Figure 4 ratio curves.
+	LogY   bool
+	Series []*Series
+}
+
+// AddSeries appends a series and returns it for chaining.
+func (c *Chart) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	c.Series = append(c.Series, s)
+	return s
+}
+
+// markers cycles through per-series glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart. Each series gets a distinct marker; error bars
+// are drawn as vertical '|' runs. The output is deterministic.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	empty := true
+	for _, s := range c.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		empty = false
+		x0, x1, y0, y1 := s.MinMax()
+		xmin, xmax = math.Min(xmin, x0), math.Max(xmax, x1)
+		ymin, ymax = math.Min(ymin, y0), math.Max(ymax, y1)
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if empty {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	// yT maps data space to plotting space; yLabel inverts it for axis
+	// annotations.
+	yT := func(y float64) float64 { return y }
+	yLabel := func(y float64) float64 { return y }
+	if c.LogY {
+		// Clamp non-positive values to the smallest positive datum.
+		minPos := math.Inf(1)
+		for _, s := range c.Series {
+			for _, p := range s.Points {
+				for _, v := range []float64{p.Y, p.Y - p.Err} {
+					if v > 0 && v < minPos {
+						minPos = v
+					}
+				}
+			}
+		}
+		if math.IsInf(minPos, 1) {
+			minPos = 1
+		}
+		yT = func(y float64) float64 {
+			if y < minPos {
+				y = minPos
+			}
+			return math.Log10(y)
+		}
+		yLabel = func(y float64) float64 { return math.Pow(10, y) }
+		ymin, ymax = yT(ymin), yT(ymax)
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	col := func(x float64) int {
+		ccol := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+		if ccol < 0 {
+			ccol = 0
+		}
+		if ccol >= w {
+			ccol = w - 1
+		}
+		return ccol
+	}
+	row := func(y float64) int {
+		r := int(math.Round((ymax - yT(y)) / (ymax - ymin) * float64(h-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= h {
+			r = h - 1
+		}
+		return r
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			ccol := col(p.X)
+			if p.Err > 0 {
+				top, bot := row(p.Y+p.Err), row(p.Y-p.Err)
+				for r := top; r <= bot; r++ {
+					if grid[r][ccol] == ' ' {
+						grid[r][ccol] = '|'
+					}
+				}
+			}
+			grid[row(p.Y)][ccol] = m
+		}
+	}
+	yAxisW := 10
+	for r, line := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.3g", yLabel(ymax))
+		case h - 1:
+			label = fmt.Sprintf("%9.3g", yLabel(ymin))
+		case (h - 1) / 2:
+			label = fmt.Sprintf("%9.3g", yLabel((ymin+ymax)/2))
+		default:
+			label = strings.Repeat(" ", 9)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", yAxisW), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s%-*.4g%*.4g\n", strings.Repeat(" ", yAxisW+1), w/2, xmin, w-w/2-1, xmax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s    y: %s\n", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// CSV emits the chart as comma-separated values with one row per distinct
+// X value and columns "x, <series> mean, <series> sd, ...". Missing points
+// are left blank. Rows are sorted by X.
+func (c *Chart) CSV() string {
+	xs := map[float64]bool{}
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range c.Series {
+		fmt.Fprintf(&b, ",%s,%s_sd", csvEscape(s.Name), csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range c.Series {
+			found := false
+			for _, p := range s.Points {
+				if p.X == x {
+					fmt.Fprintf(&b, ",%g,%g", p.Y, p.Err)
+					found = true
+					break
+				}
+			}
+			if !found {
+				b.WriteString(",,")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	return strings.NewReplacer(",", "_", "\n", "_", "\"", "_").Replace(s)
+}

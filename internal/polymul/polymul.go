@@ -1,0 +1,231 @@
+// Package polymul is the case study behind the paper's reference [20]
+// (Iyer, Veeravalli, Krishnamoorthy: "On handling large-scale polynomial
+// multiplications in compute cloud environments using divisible load
+// paradigm") — one of the works whose non-linear-DLT framing Section 2
+// refutes.
+//
+// Multiplying two degree-(N-1) polynomials is a convolution. Its cost
+// depends entirely on the algorithm:
+//
+//   - schoolbook: N² — an α=2 power load, NOT divisible (Section 2);
+//   - Karatsuba: N^log₂3 ≈ N^1.585 — still super-linear, still not
+//     divisible;
+//   - FFT convolution: N·log N — almost divisible, like sorting
+//     (Section 3).
+//
+// The same application is or is not amenable to DLT depending on which
+// algorithm carries the work — the paper's message in one package. The
+// three implementations below are real (and agree with each other);
+// Verdicts maps each to its core divisibility classification.
+package polymul
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"nlfl/internal/core"
+)
+
+// Naive computes the convolution of a and b with the O(N²) schoolbook
+// method. The result has len(a)+len(b)-1 coefficients.
+func Naive(a, b []float64) ([]float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, errors.New("polymul: empty polynomial")
+	}
+	out := make([]float64, len(a)+len(b)-1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			out[i+j] += av * bv
+		}
+	}
+	return out, nil
+}
+
+// Karatsuba computes the same convolution in O(N^log₂3) by the classical
+// three-multiplication recursion, falling back to the schoolbook method
+// below a small threshold.
+func Karatsuba(a, b []float64) ([]float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, errors.New("polymul: empty polynomial")
+	}
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	// Pad to a common power-of-two length.
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	ap := make([]float64, size)
+	bp := make([]float64, size)
+	copy(ap, a)
+	copy(bp, b)
+	full := karatsuba(ap, bp)
+	return full[:len(a)+len(b)-1], nil
+}
+
+const karatsubaCutoff = 32
+
+func karatsuba(a, b []float64) []float64 {
+	n := len(a)
+	if n <= karatsubaCutoff {
+		out := make([]float64, 2*n-1)
+		for i, av := range a {
+			for j, bv := range b {
+				out[i+j] += av * bv
+			}
+		}
+		return append(out, 0) // uniform 2n length simplifies recombination
+	}
+	h := n / 2
+	a0, a1 := a[:h], a[h:]
+	b0, b1 := b[:h], b[h:]
+	low := karatsuba(a0, b0)   // length 2h
+	high := karatsuba(a1, b1)  // length 2h
+	sumA := make([]float64, h) // a0 + a1
+	sumB := make([]float64, h)
+	for i := 0; i < h; i++ {
+		sumA[i] = a0[i] + a1[i]
+		sumB[i] = b0[i] + b1[i]
+	}
+	mid := karatsuba(sumA, sumB) // (a0+a1)(b0+b1), length 2h
+	out := make([]float64, 2*n)
+	for i, v := range low {
+		out[i] += v
+		mid[i] -= v
+	}
+	for i, v := range high {
+		out[2*h+i] += v
+		mid[i] -= v
+	}
+	for i, v := range mid {
+		out[h+i] += v
+	}
+	return out
+}
+
+// FFT computes the convolution in O(N·log N) via a radix-2 iterative
+// complex FFT with zero padding.
+func FFT(a, b []float64) ([]float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, errors.New("polymul: empty polynomial")
+	}
+	outLen := len(a) + len(b) - 1
+	size := 1
+	for size < outLen {
+		size <<= 1
+	}
+	fa := make([]complex128, size)
+	fb := make([]complex128, size)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	fft(fa, false)
+	fft(fb, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	fft(fa, true)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(fa[i]) / float64(size)
+	}
+	return out, nil
+}
+
+// fft performs an in-place iterative Cooley–Tukey transform; invert=true
+// gives the (unscaled) inverse.
+func fft(xs []complex128, invert bool) {
+	n := len(xs)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		angle := 2 * math.Pi / float64(length)
+		if invert {
+			angle = -angle
+		}
+		wl := cmplx.Exp(complex(0, angle))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			for k := 0; k < length/2; k++ {
+				u := xs[start+k]
+				v := xs[start+k+length/2] * w
+				xs[start+k] = u + v
+				xs[start+k+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// Algorithm names a convolution strategy.
+type Algorithm int
+
+// Available algorithms.
+const (
+	AlgoNaive Algorithm = iota
+	AlgoKaratsuba
+	AlgoFFT
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoNaive:
+		return "schoolbook"
+	case AlgoKaratsuba:
+		return "karatsuba"
+	case AlgoFFT:
+		return "fft"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Multiply dispatches to the chosen algorithm.
+func Multiply(a, b []float64, algo Algorithm) ([]float64, error) {
+	switch algo {
+	case AlgoNaive:
+		return Naive(a, b)
+	case AlgoKaratsuba:
+		return Karatsuba(a, b)
+	case AlgoFFT:
+		return FFT(a, b)
+	default:
+		return nil, fmt.Errorf("polymul: unknown algorithm %v", algo)
+	}
+}
+
+// Verdict returns the core divisibility classification of running the
+// given algorithm on size-n inputs over p workers: the paper's Section 2
+// test applied to this application.
+func Verdict(algo Algorithm, n float64, p int) (core.Verdict, error) {
+	switch algo {
+	case AlgoNaive:
+		return core.Analyze(core.Workload{Kind: core.Power, N: n, Alpha: 2}, p)
+	case AlgoKaratsuba:
+		return core.Analyze(core.Workload{Kind: core.Power, N: n, Alpha: math.Log2(3)}, p)
+	case AlgoFFT:
+		return core.Analyze(core.Workload{Kind: core.LogLinear, N: n}, p)
+	default:
+		return core.Verdict{}, fmt.Errorf("polymul: unknown algorithm %v", algo)
+	}
+}

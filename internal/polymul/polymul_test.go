@@ -1,0 +1,186 @@
+package polymul
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nlfl/internal/core"
+	"nlfl/internal/stats"
+)
+
+func approx(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*(1+math.Abs(a[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNaiveKnownProduct(t *testing.T) {
+	// (1 + 2x)(3 + 4x) = 3 + 10x + 8x².
+	got, err := Naive([]float64{1, 2}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 10, 8}
+	if !approx(got, want, 1e-12) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestAlgorithmsAgree(t *testing.T) {
+	r := stats.NewRNG(1)
+	shapes := []struct{ la, lb int }{
+		{1, 1}, {2, 3}, {7, 7}, {33, 17}, {100, 100}, {257, 129}, {1000, 1},
+	}
+	for _, s := range shapes {
+		a := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, s.la)
+		b := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, s.lb)
+		ref, err := Naive(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kar, err := Karatsuba(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(ref, kar, 1e-9) {
+			t.Errorf("shape %+v: karatsuba disagrees", s)
+		}
+		fft, err := FFT(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(ref, fft, 1e-7) {
+			t.Errorf("shape %+v: fft disagrees", s)
+		}
+	}
+}
+
+func TestMultiplyDispatch(t *testing.T) {
+	a, b := []float64{1, 1}, []float64{1, -1}
+	for _, algo := range []Algorithm{AlgoNaive, AlgoKaratsuba, AlgoFFT} {
+		got, err := Multiply(a, b, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(got, []float64{1, 0, -1}, 1e-9) {
+			t.Errorf("%v: got %v", algo, got)
+		}
+	}
+	if _, err := Multiply(a, b, Algorithm(9)); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	for _, algo := range []Algorithm{AlgoNaive, AlgoKaratsuba, AlgoFFT} {
+		if _, err := Multiply(nil, []float64{1}, algo); err == nil {
+			t.Errorf("%v: empty a should fail", algo)
+		}
+		if _, err := Multiply([]float64{1}, nil, algo); err == nil {
+			t.Errorf("%v: empty b should fail", algo)
+		}
+	}
+}
+
+func TestVerdictPerAlgorithm(t *testing.T) {
+	const n, p = 1 << 20, 64
+	vNaive, err := Verdict(AlgoNaive, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vNaive.Class != core.NotDivisible {
+		t.Errorf("schoolbook should be not-divisible: %v", vNaive)
+	}
+	vKar, err := Verdict(AlgoKaratsuba, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vKar.Class != core.NotDivisible {
+		t.Errorf("karatsuba should be not-divisible: %v", vKar)
+	}
+	// Karatsuba's smaller exponent leaves less work undone than
+	// schoolbook's α=2 for the same platform.
+	if vKar.UndoneFraction >= vNaive.UndoneFraction {
+		t.Errorf("karatsuba undone %v should be below schoolbook %v",
+			vKar.UndoneFraction, vNaive.UndoneFraction)
+	}
+	vFFT, err := Verdict(AlgoFFT, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vFFT.Class != core.AlmostDivisible {
+		t.Errorf("fft should be almost-divisible: %v", vFFT)
+	}
+	if _, err := Verdict(Algorithm(9), n, p); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	if AlgoNaive.String() != "schoolbook" || AlgoFFT.String() != "fft" {
+		t.Error("names changed")
+	}
+	if Algorithm(9).String() == "" {
+		t.Error("unknown algorithm should render")
+	}
+}
+
+// Property: Karatsuba and FFT agree with the schoolbook product on random
+// inputs.
+func TestAgreementProperty(t *testing.T) {
+	f := func(seed int64, la, lb uint8) bool {
+		na := int(la%64) + 1
+		nb := int(lb%64) + 1
+		r := stats.NewRNG(seed)
+		a := stats.SampleN(stats.Uniform{Lo: -2, Hi: 2}, r, na)
+		b := stats.SampleN(stats.Uniform{Lo: -2, Hi: 2}, r, nb)
+		ref, err := Naive(a, b)
+		if err != nil {
+			return false
+		}
+		kar, err := Karatsuba(a, b)
+		if err != nil || !approx(ref, kar, 1e-8) {
+			return false
+		}
+		fft, err := FFT(a, b)
+		return err == nil && approx(ref, fft, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: convolution evaluated at a point equals the product of the
+// polynomial evaluations (ring homomorphism check).
+func TestEvaluationHomomorphismProperty(t *testing.T) {
+	eval := func(poly []float64, x float64) float64 {
+		v := 0.0
+		for i := len(poly) - 1; i >= 0; i-- {
+			v = v*x + poly[i]
+		}
+		return v
+	}
+	f := func(seed int64) bool {
+		r := stats.NewRNG(seed)
+		a := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, 8)
+		b := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, 5)
+		prod, err := FFT(a, b)
+		if err != nil {
+			return false
+		}
+		x := 0.9 * (2*r.Float64() - 1)
+		lhs := eval(prod, x)
+		rhs := eval(a, x) * eval(b, x)
+		return math.Abs(lhs-rhs) < 1e-8*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,23 @@
+package samplesort_test
+
+import (
+	"fmt"
+	"slices"
+
+	"nlfl/internal/samplesort"
+)
+
+// Sample sort is a drop-in parallel sort; the trace exposes the phase
+// structure of the paper's Figure 1.
+func ExampleSort() {
+	xs := []int{9, 3, 7, 1, 8, 2, 6, 4, 5, 0}
+	sorted, tr, _ := samplesort.Sort(xs, samplesort.Config{Workers: 2, Seed: 1})
+	fmt.Println(slices.IsSorted(sorted), len(tr.BucketSizes))
+	// Output: true 2
+}
+
+// The share of sorting work that resists parallelization is log p/log N.
+func ExampleNonDivisibleFraction() {
+	fmt.Printf("%.2f\n", samplesort.NonDivisibleFraction(1<<20, 32))
+	// Output: 0.25
+}

@@ -1,0 +1,37 @@
+package samplesort
+
+import (
+	"slices"
+	"testing"
+)
+
+// FuzzSort feeds arbitrary byte slices through the sample sort and checks
+// the result against the standard library.
+func FuzzSort(f *testing.F) {
+	f.Add([]byte("hello world"), uint8(3))
+	f.Add([]byte{0, 0, 0, 0}, uint8(1))
+	f.Add([]byte{255, 0, 255, 0, 128}, uint8(16))
+	f.Fuzz(func(t *testing.T, raw []byte, pRaw uint8) {
+		p := int(pRaw%16) + 1
+		xs := make([]int, len(raw))
+		for i, b := range raw {
+			xs[i] = int(b)
+		}
+		got, tr, err := Sort(xs, Config{Workers: p, Seed: int64(len(raw))})
+		if err != nil {
+			t.Fatalf("Sort failed: %v", err)
+		}
+		want := append([]int(nil), xs...)
+		slices.Sort(want)
+		if !slices.Equal(got, want) {
+			t.Fatalf("wrong sort for %v (p=%d)", xs, p)
+		}
+		total := 0
+		for _, b := range tr.BucketSizes {
+			total += b
+		}
+		if total != len(xs) {
+			t.Fatalf("buckets sum to %d, want %d", total, len(xs))
+		}
+	})
+}

@@ -1,0 +1,223 @@
+package samplesort
+
+import (
+	"cmp"
+	"errors"
+	"math"
+	"slices"
+	"sort"
+	"sync"
+
+	"nlfl/internal/platform"
+	"nlfl/internal/stats"
+)
+
+// HeteroTrace extends Trace with the speed-aware balance metrics of
+// Section 3.2.
+type HeteroTrace struct {
+	Trace
+	// Speeds echoes the worker speeds.
+	Speeds []float64
+	// SortTimes[i] = wᵢ·nᵢ·log nᵢ, the modelled time for worker i to sort
+	// its bucket.
+	SortTimes []float64
+}
+
+// Imbalance returns (t_max - t_min)/t_min over the modelled bucket sort
+// times — Section 3.2's claim is that this vanishes as N grows because
+// bucket i receives a share proportional to 1/wᵢ.
+func (t HeteroTrace) Imbalance() float64 {
+	tmin, tmax := math.Inf(1), 0.0
+	for _, v := range t.SortTimes {
+		if v < tmin {
+			tmin = v
+		}
+		if v > tmax {
+			tmax = v
+		}
+	}
+	if tmax == 0 {
+		return 0
+	}
+	if tmin == 0 {
+		return math.Inf(1)
+	}
+	return (tmax - tmin) / tmin
+}
+
+// SortHeterogeneous sample-sorts xs for a heterogeneous platform: bucket i
+// is sized proportionally to worker i's speed by placing the splitters at
+// speed-weighted ranks in the sorted sample (Section 3.2), so that
+// sorting bucket i on worker i takes wᵢ·nᵢ·log nᵢ ≈ constant across
+// workers up to the log factor. The input is not modified.
+func SortHeterogeneous[T cmp.Ordered](xs []T, plat *platform.Platform, cfg Config) ([]T, HeteroTrace, error) {
+	return sortWithShares(xs, plat, plat.NormalizedSpeeds(), cfg)
+}
+
+// SortHeterogeneousBalanced is the refinement Section 3.2 leaves implicit:
+// the paper's speed-proportional buckets still differ in per-key cost by
+// the factor log nᵢ (the imbalance decays only like 1/log N). This
+// variant solves nᵢ·log₂ nᵢ = T·sᵢ with Σnᵢ = N instead, equalizing the
+// modelled sort times exactly and removing the log-factor imbalance.
+func SortHeterogeneousBalanced[T cmp.Ordered](xs []T, plat *platform.Platform, cfg Config) ([]T, HeteroTrace, error) {
+	return sortWithShares(xs, plat, BalancedShares(plat.Speeds(), len(xs)), cfg)
+}
+
+// BalancedShares returns bucket fractions fᵢ with fᵢ·N·log₂(fᵢ·N) ∝ sᵢ
+// and Σfᵢ = 1, by nested bisection. For n < 4 it falls back to
+// speed-proportional shares (logs degenerate).
+func BalancedShares(speeds []float64, n int) []float64 {
+	total := 0.0
+	for _, s := range speeds {
+		total += s
+	}
+	out := make([]float64, len(speeds))
+	if n < 4 {
+		for i, s := range speeds {
+			out[i] = s / total
+		}
+		return out
+	}
+	nf := float64(n)
+	// sizeFor solves x·log₂x = budget for x ≥ 1 (monotone for x ≥ 1).
+	sizeFor := func(budget float64) float64 {
+		if budget <= 0 {
+			return 1
+		}
+		lo, hi := 1.0, 2.0
+		for hi*math.Log2(hi) < budget {
+			hi *= 2
+		}
+		for it := 0; it < 100 && hi-lo > 1e-12*(1+hi); it++ {
+			mid := (lo + hi) / 2
+			if mid*math.Log2(mid) < budget {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return hi
+	}
+	sumAt := func(t float64) float64 {
+		sum := 0.0
+		for _, s := range speeds {
+			sum += sizeFor(t * s)
+		}
+		return sum
+	}
+	tLo, tHi := 0.0, 1.0
+	for sumAt(tHi) < nf {
+		tHi *= 2
+	}
+	for it := 0; it < 100 && tHi-tLo > 1e-12*(1+tHi); it++ {
+		mid := (tLo + tHi) / 2
+		if sumAt(mid) < nf {
+			tLo = mid
+		} else {
+			tHi = mid
+		}
+	}
+	sum := 0.0
+	for i, s := range speeds {
+		out[i] = sizeFor(tHi * s)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// sortWithShares is the shared three-phase implementation: splitters are
+// placed at the cumulative `shares` ranks of the sorted sample.
+func sortWithShares[T cmp.Ordered](xs []T, plat *platform.Platform, shares []float64, cfg Config) ([]T, HeteroTrace, error) {
+	p := plat.P()
+	cfg.Workers = p
+	ht := HeteroTrace{Speeds: plat.Speeds()}
+	ht.Trace = Trace{N: len(xs), Workers: p, Oversampling: cfg.Oversampling}
+	if cfg.Oversampling == 0 {
+		cfg.Oversampling = DefaultOversampling(len(xs))
+		ht.Oversampling = cfg.Oversampling
+	}
+	if cfg.Oversampling < 1 {
+		return nil, ht, errors.New("samplesort: invalid oversampling")
+	}
+	if len(xs) == 0 {
+		ht.BucketSizes = make([]int, p)
+		ht.SortTimes = make([]float64, p)
+		return nil, ht, nil
+	}
+
+	// Step 1: sample, then place splitters at cumulative-speed ranks.
+	want := cfg.Oversampling * p
+	if want > len(xs) {
+		want = len(xs)
+	}
+	r := stats.NewRNG(cfg.Seed)
+	sample := make([]T, want)
+	for i := range sample {
+		sample[i] = xs[r.Intn(len(xs))]
+	}
+	slices.Sort(sample)
+	ht.SampleSize = want
+	if want > 1 {
+		ht.ComparisonsSample = float64(want) * math.Log2(float64(want))
+	}
+	splitters := make([]T, 0, p-1)
+	cum := 0.0
+	for i := 0; i < p-1; i++ {
+		cum += shares[i]
+		rank := int(cum * float64(len(sample)))
+		if rank >= len(sample) {
+			rank = len(sample) - 1
+		}
+		splitters = append(splitters, sample[rank])
+	}
+
+	// Step 2: route.
+	buckets := make([][]T, p)
+	for _, x := range xs {
+		b := sort.Search(len(splitters), func(i int) bool { return x < splitters[i] })
+		buckets[b] = append(buckets[b], x)
+	}
+	if p > 1 {
+		ht.ComparisonsRouting = float64(len(xs)) * math.Log2(float64(p))
+	}
+
+	// Step 3: per-worker sorts.
+	if cfg.Sequential {
+		for _, b := range buckets {
+			slices.Sort(b)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, b := range buckets {
+			if len(b) < 2 {
+				continue
+			}
+			wg.Add(1)
+			go func(b []T) {
+				defer wg.Done()
+				slices.Sort(b)
+			}(b)
+		}
+		wg.Wait()
+	}
+
+	ht.BucketSizes = make([]int, p)
+	ht.SortTimes = make([]float64, p)
+	out := make([]T, 0, len(xs))
+	for i, b := range buckets {
+		ht.BucketSizes[i] = len(b)
+		if len(b) > ht.MaxBucket {
+			ht.MaxBucket = len(b)
+		}
+		if len(b) > 1 {
+			work := float64(len(b)) * math.Log2(float64(len(b)))
+			ht.ComparisonsBuckets += work
+			ht.SortTimes[i] = work / plat.Worker(i).Speed
+		}
+		out = append(out, b...)
+	}
+	return out, ht, nil
+}

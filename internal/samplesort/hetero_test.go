@@ -1,0 +1,120 @@
+package samplesort
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"nlfl/internal/platform"
+)
+
+func TestBalancedSharesSumToOne(t *testing.T) {
+	for _, speeds := range [][]float64{{1}, {1, 1}, {1, 2, 4, 8}, {5, 0.1, 3}} {
+		shares := BalancedShares(speeds, 1_000_000)
+		sum := 0.0
+		for _, f := range shares {
+			if f <= 0 {
+				t.Errorf("speeds %v: non-positive share %v", speeds, f)
+			}
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("speeds %v: shares sum to %v", speeds, sum)
+		}
+	}
+}
+
+func TestBalancedSharesEqualizeModelTimes(t *testing.T) {
+	speeds := []float64{1, 2, 4, 8}
+	const n = 1 << 20
+	shares := BalancedShares(speeds, n)
+	// tᵢ = (fᵢN)·log₂(fᵢN)/sᵢ must be equal across workers.
+	ref := shares[0] * float64(n) * math.Log2(shares[0]*float64(n)) / speeds[0]
+	for i := 1; i < len(speeds); i++ {
+		ti := shares[i] * float64(n) * math.Log2(shares[i]*float64(n)) / speeds[i]
+		if math.Abs(ti-ref) > 1e-6*ref {
+			t.Errorf("worker %d model time %v, want %v", i, ti, ref)
+		}
+	}
+}
+
+func TestBalancedSharesFallbackTinyN(t *testing.T) {
+	shares := BalancedShares([]float64{1, 3}, 2)
+	if math.Abs(shares[0]-0.25) > 1e-12 || math.Abs(shares[1]-0.75) > 1e-12 {
+		t.Errorf("tiny-N fallback = %v, want speed-proportional", shares)
+	}
+}
+
+func TestBalancedSharesHomogeneousEqual(t *testing.T) {
+	shares := BalancedShares([]float64{2, 2, 2, 2}, 100000)
+	for _, f := range shares {
+		if math.Abs(f-0.25) > 1e-9 {
+			t.Errorf("homogeneous balanced shares = %v", shares)
+		}
+	}
+}
+
+func TestSortHeterogeneousBalancedCorrectness(t *testing.T) {
+	pl, err := platform.FromSpeeds([]float64{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := randomFloats(77, 150000)
+	got, ht, err := SortHeterogeneousBalanced(xs, pl, Config{Seed: 5, Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.IsSorted(got) || len(got) != len(xs) {
+		t.Fatal("balanced heterogeneous sort incorrect")
+	}
+	total := 0
+	for _, b := range ht.BucketSizes {
+		total += b
+	}
+	if total != len(xs) {
+		t.Errorf("buckets sum to %d", total)
+	}
+}
+
+func TestBalancedBeatsProportionalImbalance(t *testing.T) {
+	// The ablation: balanced shares should cut the modelled sort-time
+	// imbalance well below the speed-proportional variant on a skewed
+	// platform.
+	pl, err := platform.FromSpeeds([]float64{1, 1, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := randomFloats(88, 400000)
+	// High oversampling so splitter sampling noise doesn't mask the
+	// share policy under test.
+	cfg := Config{Seed: 9, Sequential: true, Oversampling: 4000}
+	_, plain, err := SortHeterogeneous(xs, pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, balanced, err := SortHeterogeneousBalanced(xs, pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balanced.Imbalance() >= plain.Imbalance() {
+		t.Errorf("balanced imbalance %v not below proportional %v",
+			balanced.Imbalance(), plain.Imbalance())
+	}
+	// With the log factor corrected only sampling noise remains.
+	if balanced.Imbalance() > 0.1 {
+		t.Errorf("balanced imbalance %v, want < 0.1", balanced.Imbalance())
+	}
+}
+
+func TestBalancedSharesSkewDirection(t *testing.T) {
+	// Balancing must give the slow worker *more* than its proportional
+	// share (its smaller bucket has a smaller log factor): f_slow·N·log
+	// grows slower, so f_slow > x_slow.
+	speeds := []float64{1, 31}
+	const n = 1 << 22
+	shares := BalancedShares(speeds, n)
+	proportional := 1.0 / 32.0
+	if shares[0] <= proportional {
+		t.Errorf("slow share %v should exceed proportional %v", shares[0], proportional)
+	}
+}

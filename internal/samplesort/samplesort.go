@@ -1,0 +1,278 @@
+// Package samplesort implements the parallel sample sort of the paper's
+// Section 3 — the workload that, unlike truly non-linear loads, *is*
+// amenable to Divisible Load Theory after a cheap pre-processing step.
+//
+// Sorting N keys costs N·log N: splitting the input into p lists of N/p
+// keys and sorting them in parallel performs N·log N - N·log p of that
+// work, so the non-divisible fraction log p / log N vanishes for large N.
+// The pre-processing that makes the p partial sorts compose into a fully
+// sorted output is randomized splitter selection (Frazer & McKellar's
+// sample sort, refs [38,39]), in three steps mirroring the paper's
+// Figure 1:
+//
+//	Step 1: draw s·p random sample keys (oversampling ratio s), sort the
+//	        sample, keep the keys of rank s, 2s, …, (p-1)s as splitters;
+//	Step 2: route every key to its bucket by binary search (N·log p);
+//	Step 3: sort the p buckets independently, one worker per bucket.
+//
+// With s = log²N, the largest bucket is (N/p)(1 + (1/log N)^(1/3)) with
+// probability at least 1 - N^(-1/3) (Theorem B.4 of Blelloch et al.,
+// ref [40]), so Step 3 dominates and the parallel time is optimal with
+// high probability.
+package samplesort
+
+import (
+	"cmp"
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+	"sync"
+
+	"nlfl/internal/stats"
+)
+
+// Config controls a sample sort run.
+type Config struct {
+	// Workers is p, the number of buckets / parallel sorters (≥ 1).
+	Workers int
+	// Oversampling is s; 0 selects the paper's log²N.
+	Oversampling int
+	// Seed drives splitter sampling; runs with equal seeds are identical.
+	Seed int64
+	// Parallel enables goroutine-parallel Step 3 (on by default via
+	// Sort; disable for deterministic single-thread profiling).
+	Sequential bool
+}
+
+// Trace reports what happened in each phase, mirroring the quantities of
+// Section 3.1's cost analysis.
+type Trace struct {
+	N            int
+	Workers      int
+	Oversampling int
+	// SampleSize is s·p (clamped to N).
+	SampleSize int
+	// BucketSizes[i] is the number of keys routed to bucket i.
+	BucketSizes []int
+	// MaxBucket is max BucketSizes.
+	MaxBucket int
+	// Comparisons* count the comparison work per phase, the currency of
+	// the paper's N·log N accounting.
+	ComparisonsSample  float64 // Step 1: s·p·log(s·p)
+	ComparisonsRouting float64 // Step 2: N·log p
+	ComparisonsBuckets float64 // Step 3: Σ nᵢ·log nᵢ
+}
+
+// MaxBucketRatio returns MaxBucket / (N/p), the balance metric bounded by
+// 1 + (1/log N)^(1/3) with high probability.
+func (t Trace) MaxBucketRatio() float64 {
+	if t.N == 0 {
+		return 0
+	}
+	return float64(t.MaxBucket) / (float64(t.N) / float64(t.Workers))
+}
+
+// DefaultOversampling returns the paper's oversampling ratio s = ⌈log²N⌉
+// (natural-log-free: log₂ is used throughout, as is conventional for
+// comparison counts), with a floor of 1.
+func DefaultOversampling(n int) int {
+	if n < 2 {
+		return 1
+	}
+	l := math.Log2(float64(n))
+	s := int(math.Ceil(l * l))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Sort sample-sorts xs into a new slice using cfg, returning the sorted
+// keys and the phase trace. The input is not modified.
+func Sort[T cmp.Ordered](xs []T, cfg Config) ([]T, Trace, error) {
+	tr := Trace{N: len(xs), Workers: cfg.Workers, Oversampling: cfg.Oversampling}
+	if cfg.Workers < 1 {
+		return nil, tr, errors.New("samplesort: need at least one worker")
+	}
+	if cfg.Oversampling == 0 {
+		cfg.Oversampling = DefaultOversampling(len(xs))
+		tr.Oversampling = cfg.Oversampling
+	}
+	if cfg.Oversampling < 1 {
+		return nil, tr, fmt.Errorf("samplesort: invalid oversampling %d", cfg.Oversampling)
+	}
+	p := cfg.Workers
+	if len(xs) == 0 {
+		tr.BucketSizes = make([]int, p)
+		return nil, tr, nil
+	}
+
+	// Step 1: sample and select splitters.
+	splitters, sampleSize := selectSplitters(xs, p, cfg.Oversampling, cfg.Seed)
+	tr.SampleSize = sampleSize
+	if sampleSize > 1 {
+		tr.ComparisonsSample = float64(sampleSize) * math.Log2(float64(sampleSize))
+	}
+
+	// Step 2: route keys to buckets by binary search over the splitters.
+	buckets := make([][]T, p)
+	for _, x := range xs {
+		b := sort.Search(len(splitters), func(i int) bool { return x < splitters[i] })
+		buckets[b] = append(buckets[b], x)
+	}
+	if p > 1 {
+		tr.ComparisonsRouting = float64(len(xs)) * math.Log2(float64(p))
+	}
+
+	// Step 3: sort buckets, one worker per bucket.
+	if cfg.Sequential {
+		for _, b := range buckets {
+			slices.Sort(b)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, b := range buckets {
+			if len(b) < 2 {
+				continue
+			}
+			wg.Add(1)
+			go func(b []T) {
+				defer wg.Done()
+				slices.Sort(b)
+			}(b)
+		}
+		wg.Wait()
+	}
+
+	tr.BucketSizes = make([]int, p)
+	out := make([]T, 0, len(xs))
+	for i, b := range buckets {
+		tr.BucketSizes[i] = len(b)
+		if len(b) > tr.MaxBucket {
+			tr.MaxBucket = len(b)
+		}
+		if len(b) > 1 {
+			tr.ComparisonsBuckets += float64(len(b)) * math.Log2(float64(len(b)))
+		}
+		out = append(out, b...)
+	}
+	return out, tr, nil
+}
+
+// selectSplitters draws min(s·p, n) random keys, sorts them, and returns
+// the p-1 splitters of ranks s, 2s, …, (p-1)s (scaled when the sample was
+// clamped). Splitters are non-decreasing by construction.
+func selectSplitters[T cmp.Ordered](xs []T, p, s int, seed int64) ([]T, int) {
+	if p == 1 {
+		return nil, 0
+	}
+	want := s * p
+	if want > len(xs) {
+		want = len(xs)
+	}
+	r := stats.NewRNG(seed)
+	sample := make([]T, want)
+	for i := range sample {
+		sample[i] = xs[r.Intn(len(xs))]
+	}
+	slices.Sort(sample)
+	splitters := make([]T, 0, p-1)
+	for i := 1; i < p; i++ {
+		rank := i * len(sample) / p
+		if rank >= len(sample) {
+			rank = len(sample) - 1
+		}
+		splitters = append(splitters, sample[rank])
+	}
+	return splitters, want
+}
+
+// SortParallelRouting is Sort with a goroutine-parallel Step 2: the input
+// is split into shards, each shard routes into its own per-bucket
+// buffers, and the buckets are concatenated shard-by-shard (so the result
+// is identical to Sort's for the same seed). On multicore hosts this
+// removes the serial N·log p routing bottleneck that the Section 3.1 cost
+// model charges to the master.
+func SortParallelRouting[T cmp.Ordered](xs []T, cfg Config, shards int) ([]T, Trace, error) {
+	tr := Trace{N: len(xs), Workers: cfg.Workers, Oversampling: cfg.Oversampling}
+	if cfg.Workers < 1 {
+		return nil, tr, errors.New("samplesort: need at least one worker")
+	}
+	if shards < 1 {
+		return nil, tr, errors.New("samplesort: need at least one shard")
+	}
+	if cfg.Oversampling == 0 {
+		cfg.Oversampling = DefaultOversampling(len(xs))
+		tr.Oversampling = cfg.Oversampling
+	}
+	if cfg.Oversampling < 1 {
+		return nil, tr, fmt.Errorf("samplesort: invalid oversampling %d", cfg.Oversampling)
+	}
+	p := cfg.Workers
+	if len(xs) == 0 {
+		tr.BucketSizes = make([]int, p)
+		return nil, tr, nil
+	}
+	splitters, sampleSize := selectSplitters(xs, p, cfg.Oversampling, cfg.Seed)
+	tr.SampleSize = sampleSize
+	if sampleSize > 1 {
+		tr.ComparisonsSample = float64(sampleSize) * math.Log2(float64(sampleSize))
+	}
+
+	// Step 2, sharded: shard s routes xs[s·len/shards : (s+1)·len/shards].
+	local := make([][][]T, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo := s * len(xs) / shards
+		hi := (s + 1) * len(xs) / shards
+		local[s] = make([][]T, p)
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			for _, x := range xs[lo:hi] {
+				b := sort.Search(len(splitters), func(i int) bool { return x < splitters[i] })
+				local[s][b] = append(local[s][b], x)
+			}
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	if p > 1 {
+		tr.ComparisonsRouting = float64(len(xs)) * math.Log2(float64(p))
+	}
+
+	// Merge shards per bucket (shard order preserves Sort's semantics) and
+	// run Step 3 in parallel.
+	buckets := make([][]T, p)
+	for b := 0; b < p; b++ {
+		for s := 0; s < shards; s++ {
+			buckets[b] = append(buckets[b], local[s][b]...)
+		}
+	}
+	for _, b := range buckets {
+		if len(b) < 2 {
+			continue
+		}
+		wg.Add(1)
+		go func(b []T) {
+			defer wg.Done()
+			slices.Sort(b)
+		}(b)
+	}
+	wg.Wait()
+
+	tr.BucketSizes = make([]int, p)
+	out := make([]T, 0, len(xs))
+	for i, b := range buckets {
+		tr.BucketSizes[i] = len(b)
+		if len(b) > tr.MaxBucket {
+			tr.MaxBucket = len(b)
+		}
+		if len(b) > 1 {
+			tr.ComparisonsBuckets += float64(len(b)) * math.Log2(float64(len(b)))
+		}
+		out = append(out, b...)
+	}
+	return out, tr, nil
+}

@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	a2 := NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(1)
+	s1, s2 := r.Split(), r.Split()
+	equal := 0
+	for i := 0; i < 100; i++ {
+		if s1.Float64() == s2.Float64() {
+			equal++
+		}
+	}
+	if equal > 5 {
+		t.Errorf("split streams look correlated: %d equal draws", equal)
+	}
+}
+
+// empiricalMoments draws n samples and returns mean and stddev.
+func empiricalMoments(d Distribution, seed int64, n int) (float64, float64) {
+	r := NewRNG(seed)
+	var w Welford
+	for i := 0; i < n; i++ {
+		w.Add(d.Sample(r))
+	}
+	return w.Mean(), w.StdDev()
+}
+
+func TestConstant(t *testing.T) {
+	d := Constant{Value: 3.5}
+	r := NewRNG(0)
+	for i := 0; i < 10; i++ {
+		if d.Sample(r) != 3.5 {
+			t.Fatal("constant distribution must always return Value")
+		}
+	}
+	if d.Mean() != 3.5 {
+		t.Error("constant mean mismatch")
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	d := Uniform{Lo: 1, Hi: 100}
+	mean, sd := empiricalMoments(d, 11, 200000)
+	if math.Abs(mean-d.Mean()) > 0.5 {
+		t.Errorf("uniform mean = %v, want ≈ %v", mean, d.Mean())
+	}
+	wantSD := (100.0 - 1.0) / math.Sqrt(12)
+	if math.Abs(sd-wantSD) > 0.5 {
+		t.Errorf("uniform sd = %v, want ≈ %v", sd, wantSD)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	d := Uniform{Lo: 2, Hi: 5}
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		x := d.Sample(r)
+		if x < 2 || x >= 5 {
+			t.Fatalf("uniform sample %v out of [2,5)", x)
+		}
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	d := LogNormal{Mu: 0, Sigma: 1}
+	mean, _ := empiricalMoments(d, 12, 400000)
+	// E[X] = exp(0.5) ≈ 1.6487; the heavy tail needs loose tolerance.
+	if math.Abs(mean-d.Mean()) > 0.05 {
+		t.Errorf("lognormal mean = %v, want ≈ %v", mean, d.Mean())
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	d := LogNormal{Mu: 0, Sigma: 1}
+	r := NewRNG(4)
+	for i := 0; i < 10000; i++ {
+		if d.Sample(r) <= 0 {
+			t.Fatal("lognormal samples must be positive")
+		}
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	d := Exponential{Rate: 2}
+	mean, sd := empiricalMoments(d, 13, 200000)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("exponential mean = %v, want ≈ 0.5", mean)
+	}
+	if math.Abs(sd-0.5) > 0.01 {
+		t.Errorf("exponential sd = %v, want ≈ 0.5", sd)
+	}
+}
+
+func TestBimodal(t *testing.T) {
+	d := Bimodal{Slow: 1, Factor: 9, FastFraction: 0.5}
+	r := NewRNG(5)
+	slow, fast := 0, 0
+	for i := 0; i < 100000; i++ {
+		switch d.Sample(r) {
+		case 1:
+			slow++
+		case 9:
+			fast++
+		default:
+			t.Fatal("bimodal must return Slow or Slow*Factor")
+		}
+	}
+	frac := float64(fast) / float64(slow+fast)
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("fast fraction = %v, want ≈ 0.5", frac)
+	}
+	if got, want := d.Mean(), 5.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("bimodal mean = %v, want %v", got, want)
+	}
+}
+
+func TestParetoMomentsAndSupport(t *testing.T) {
+	d := Pareto{Xm: 1, Alpha: 3}
+	r := NewRNG(6)
+	var w Welford
+	for i := 0; i < 200000; i++ {
+		x := d.Sample(r)
+		if x < 1 {
+			t.Fatalf("pareto sample %v below scale", x)
+		}
+		w.Add(x)
+	}
+	if math.Abs(w.Mean()-1.5) > 0.02 {
+		t.Errorf("pareto mean = %v, want ≈ 1.5", w.Mean())
+	}
+	if !math.IsInf((Pareto{Xm: 1, Alpha: 0.5}).Mean(), 1) {
+		t.Error("pareto mean must be +Inf for alpha <= 1")
+	}
+}
+
+func TestSampleN(t *testing.T) {
+	xs := SampleN(Constant{Value: 2}, NewRNG(0), 17)
+	if len(xs) != 17 {
+		t.Fatalf("len = %d, want 17", len(xs))
+	}
+	for _, x := range xs {
+		if x != 2 {
+			t.Fatal("SampleN must fill from the distribution")
+		}
+	}
+}
+
+func TestDistributionStrings(t *testing.T) {
+	ds := []Distribution{
+		Constant{1}, Uniform{1, 100}, LogNormal{0, 1},
+		Exponential{1}, Bimodal{1, 4, 0.5}, Pareto{1, 2},
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		s := d.String()
+		if s == "" {
+			t.Errorf("%T has empty String()", d)
+		}
+		if seen[s] {
+			t.Errorf("duplicate String() %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d, want 8", h.Total())
+	}
+	// Bucket widths are 2: [-1,0,1.9]→bucket0, [2]→bucket1, [5]→bucket2,
+	// [9.99,10,11]→bucket4 (clamped).
+	want := []int{3, 1, 1, 0, 3}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	lo, hi := h.BucketBounds(1)
+	if lo != 2 || hi != 4 {
+		t.Errorf("BucketBounds(1) = (%v,%v), want (2,4)", lo, hi)
+	}
+	if h.String() == "" {
+		t.Error("histogram rendering should be non-empty")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero bins", func() { NewHistogram(0, 1, 0) })
+	mustPanic("empty range", func() { NewHistogram(1, 1, 4) })
+}

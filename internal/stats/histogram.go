@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram bins samples into equal-width buckets over [Lo, Hi]. Samples
+// outside the range are clamped into the first/last bucket so that the
+// total count always equals the number of Adds.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width buckets spanning
+// [lo, hi]. It panics for bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram range must be non-empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	bins := len(h.Counts)
+	idx := int(math.Floor((x - h.Lo) / (h.Hi - h.Lo) * float64(bins)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= bins {
+		idx = bins - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// BucketBounds returns the [lo, hi) bounds of bucket i.
+func (h *Histogram) BucketBounds(i int) (float64, float64) {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + float64(i)*w, h.Lo + float64(i+1)*w
+}
+
+// String renders the histogram as a bar chart, one line per bucket.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.Counts {
+		lo, hi := h.BucketBounds(i)
+		bar := 0
+		if maxCount > 0 {
+			bar = c * 40 / maxCount
+		}
+		fmt.Fprintf(&b, "[%8.3g, %8.3g) %6d %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

@@ -1,0 +1,20 @@
+package tree_test
+
+import (
+	"fmt"
+
+	"nlfl/internal/tree"
+)
+
+// A two-level tree collapses into equivalent processors: the root's
+// capacity fixes the optimal makespan.
+func ExampleAllocate() {
+	relay := &tree.Node{Speed: 1, Bandwidth: 1, Children: []*tree.Node{
+		{Speed: 1, Bandwidth: 1},
+		{Speed: 1, Bandwidth: 1},
+	}}
+	root := &tree.Node{Speed: 1, Children: []*tree.Node{relay}}
+	alloc, _ := tree.Allocate(root, 100)
+	fmt.Printf("makespan %.1f, total %.0f\n", alloc.Makespan, alloc.TotalLoad())
+	// Output: makespan 60.0, total 100
+}
