@@ -358,6 +358,18 @@ func runAll(args []string) error {
 		return err
 	}
 
+	// Ext: the robustness sweep (crashes vs demand-driven / single-round /
+	// re-planning).
+	fcfg := experiments.DefaultFaultSweepConfig()
+	fcfg.Seed = *seed
+	faultRows, err := experiments.FaultSweep(fcfg)
+	if err != nil {
+		return err
+	}
+	if err := save("ext-faults", map[string]float64{"p": float64(fcfg.P), "seed": float64(*seed)}, faultRows); err != nil {
+		return err
+	}
+
 	// The whole evaluation as one structured record (for `nlfl compare`).
 	suite, err := experiments.RunSuite(experiments.SuiteConfig{Trials: *trials, Seed: *seed})
 	if err != nil {

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"fmt"
+
+	"nlfl/internal/dessim"
+	"nlfl/internal/experiments"
+	"nlfl/internal/faults"
+	"nlfl/internal/platform"
+	"nlfl/internal/results"
+	"nlfl/internal/stats"
+)
+
+// runFaults is the robustness experiment of the Section 1.1 argument made
+// executable: the same deterministic fault scenarios thrown at the
+// resilient demand-driven executor, the static single-round DLT schedule,
+// and the failure-aware re-planner.
+func runFaults(args []string) error {
+	fs := newFlagSet("faults")
+	scenario := fs.String("scenario", "crash", "fault scenario: crash, straggler or flaky-link")
+	p := fs.Int("p", 8, "number of workers")
+	tasks := fs.Int("tasks", 64, "demand-driven pool size")
+	dist := fs.String("dist", "uniform", "speed profile")
+	seed := fs.Int64("seed", 1, "random seed (identical seeds reproduce identical runs)")
+	out := fs.String("out", "", "optional path to save the run as a JSON record")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	profile, err := platform.ParseProfile(*dist)
+	if err != nil {
+		return err
+	}
+	switch *scenario {
+	case "crash":
+		return faultsCrash(profile, *p, *tasks, *seed, *out)
+	case "straggler":
+		return faultsStraggler(profile, *p, *tasks, *seed, *out)
+	case "flaky-link":
+		return faultsFlakyLink(profile, *p, *tasks, *seed, *out)
+	default:
+		return fmt.Errorf("unknown scenario %q (want crash, straggler or flaky-link)", *scenario)
+	}
+}
+
+func saveFaultRecord(out, name string, seed int64, data interface{}) error {
+	if out == "" {
+		return nil
+	}
+	rec := results.Record{
+		Experiment: name,
+		Params:     map[string]float64{"seed": float64(seed)},
+		Data:       data,
+	}
+	if err := results.Save(out, rec); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+// faultsCrash sweeps permanent-crash counts: demand-driven inflation vs
+// the single-round DLT's forfeited allocation, plus the re-planner's
+// volume price over the survivors.
+func faultsCrash(profile platform.SpeedProfile, p, tasks int, seed int64, out string) error {
+	cfg := experiments.DefaultFaultSweepConfig()
+	cfg.P = p
+	cfg.Profile = profile
+	cfg.Tasks = tasks
+	cfg.Seed = seed
+	cfg.Crashes = nil
+	for k := 0; k < p && k <= 3; k++ {
+		cfg.Crashes = append(cfg.Crashes, k)
+	}
+	rows, err := experiments.FaultSweep(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("permanent crashes on %d workers (%s speeds, seed %d), %d-task pool:\n\n",
+		p, profile, seed, tasks)
+	fmt.Println("single-round DLT has no feedback channel: a dead worker forfeits its whole")
+	fmt.Println("allocation. The demand-driven pool loses at most the in-flight chunks.")
+	fmt.Println()
+	fmt.Printf("%7s %10s %10s %10s %7s %9s | %9s | %9s %8s\n",
+		"crashes", "makespan", "inflation", "extraComm", "reexec", "ddLost", "dltLost", "replanVol", "vs bound")
+	for _, r := range rows {
+		replan := "—"
+		ratio := "—"
+		if r.Metrics.Crashes > 0 {
+			replan = fmt.Sprintf("%9.1f", r.ReplanVolume)
+			ratio = fmt.Sprintf("%8.3f", r.Metrics.ReplanVolumeRatio)
+		}
+		fmt.Printf("%7d %10.3f %10.3f %10.2f %7d %9.2f | %9.2f | %9s %8s\n",
+			r.Metrics.Crashes, r.DDMakespan, r.Metrics.MakespanInflation,
+			r.DDExtraComm, r.Metrics.Reexecutions, r.DDLostWork, r.DLTLostWork,
+			replan, ratio)
+	}
+	fmt.Println("\nreplan volume is the post-crash Comm_hom/k plan over the survivors;")
+	fmt.Println("`vs bound` divides it by the survivor bound 2N·√(Σ sᵢ/s₁).")
+	return saveFaultRecord(out, "faults-crash", seed, rows)
+}
+
+// faultsStraggler slows one worker mid-run and shows speculative
+// re-execution recovering most of the loss.
+func faultsStraggler(profile platform.SpeedProfile, p, tasks int, seed int64, out string) error {
+	pl, err := platform.Generate(p, profile.Distribution(0), stats.NewRNG(seed))
+	if err != nil {
+		return err
+	}
+	pool := make([]dessim.Task, tasks)
+	for i := range pool {
+		pool[i] = dessim.Task{Data: 1, Work: 2}
+	}
+	base, err := faults.RunResilientDemandDriven(pl, pool, faults.Scenario{}, faults.ResilientOptions{})
+	if err != nil {
+		return err
+	}
+	sc, err := faults.RandomStragglers(p, 1, 0.05, base.Makespan*0.2, base.Makespan*10, seed)
+	if err != nil {
+		return err
+	}
+	plain, err := faults.RunResilientDemandDriven(pl, pool, sc, faults.ResilientOptions{})
+	if err != nil {
+		return err
+	}
+	spec, err := faults.RunResilientDemandDriven(pl, pool, sc, faults.ResilientOptions{Speculate: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("one worker slowed to 5%% from t=%.2f on (%d workers, %s speeds, seed %d):\n\n",
+		base.Makespan*0.2, p, profile, seed)
+	fmt.Printf("%-22s %10s %9s %8s %11s\n", "executor", "makespan", "backups", "wasted", "extraComm")
+	fmt.Printf("%-22s %10.3f %9d %8.2f %11.2f\n", "fault-free baseline", base.Makespan, base.Backups, base.WastedWork, base.ExtraComm)
+	fmt.Printf("%-22s %10.3f %9d %8.2f %11.2f\n", "straggler, no backups", plain.Makespan, plain.Backups, plain.WastedWork, plain.ExtraComm)
+	fmt.Printf("%-22s %10.3f %9d %8.2f %11.2f\n", "straggler + speculation", spec.Makespan, spec.Backups, spec.WastedWork, spec.ExtraComm)
+	fmt.Println("\nspeculation trades duplicated work and shipping for makespan — the")
+	fmt.Println("no-free-lunch price of straggler tolerance.")
+	type row struct {
+		Label  string         `json:"label"`
+		Report *faults.Report `json:"report"`
+	}
+	return saveFaultRecord(out, "faults-straggler", seed, []row{
+		{"baseline", base}, {"straggler", plain}, {"speculation", spec},
+	})
+}
+
+// faultsFlakyLink drops transfers on one link for a window and shows the
+// retry/backoff machinery paying for completion with extra shipping.
+func faultsFlakyLink(profile platform.SpeedProfile, p, tasks int, seed int64, out string) error {
+	pl, err := platform.Generate(p, profile.Distribution(0), stats.NewRNG(seed))
+	if err != nil {
+		return err
+	}
+	pool := make([]dessim.Task, tasks)
+	for i := range pool {
+		pool[i] = dessim.Task{Data: 1, Work: 2}
+	}
+	base, err := faults.RunResilientDemandDriven(pl, pool, faults.Scenario{}, faults.ResilientOptions{})
+	if err != nil {
+		return err
+	}
+	sc, err := faults.FlakyLinks(p, 1, 0.7, 0, base.Makespan*0.8, seed)
+	if err != nil {
+		return err
+	}
+	rep, err := faults.RunResilientDemandDriven(pl, pool, sc, faults.ResilientOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("one link drops 70%% of transfers until t=%.2f (%d workers, %s speeds, seed %d):\n\n",
+		base.Makespan*0.8, p, profile, seed)
+	fmt.Printf("%-18s %10s %9s %8s %11s\n", "executor", "makespan", "drops", "retries", "extraComm")
+	fmt.Printf("%-18s %10.3f %9d %8d %11.2f\n", "fault-free", base.Makespan, base.DroppedTransfers, base.Retries, base.ExtraComm)
+	fmt.Printf("%-18s %10.3f %9d %8d %11.2f\n", "flaky link", rep.Makespan, rep.DroppedTransfers, rep.Retries, rep.ExtraComm)
+	fmt.Println("\nevery dropped shipment is retried with capped exponential backoff; the")
+	fmt.Println("job completes at the price of the wasted volume above.")
+	return saveFaultRecord(out, "faults-flaky-link", seed, rep)
+}

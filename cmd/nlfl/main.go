@@ -16,6 +16,7 @@
 //	outer      Section 4.1: one platform, three strategies, full detail
 //	matmul     Section 4.2: layout communication volumes on a real product
 //	mapreduce  Sections 1.1/4: MapReduce distribution comparison + demo job
+//	faults     Section 1.1: robustness under crashes, stragglers, flaky links
 //	analyze    The core divisibility verdict for a workload
 //	demo       Run every experiment with small settings (smoke test)
 package main
@@ -52,6 +53,7 @@ func commands() []command {
 		{"tree", "multi-level tree DLT: equivalent-processor reduction", runTree},
 		{"returns", "result collection (FIFO vs LIFO) — the §1.2 exclusion restored", runReturns},
 		{"affinity", "the conclusion's affinity-aware demand-driven scheduler", runAffinity},
+		{"faults", "robustness under crashes, stragglers and flaky links", runFaults},
 		{"analyze", "divisibility verdict for a workload", runAnalyze},
 		{"compare", "diff two saved JSON result records", runCompare},
 		{"all", "run every experiment with paper settings and save JSON records", runAll},

@@ -70,6 +70,12 @@ func TestCLISubcommands(t *testing.T) {
 			[]string{"nodes", "topology-free", "α=2"}},
 		{"returns", []string{"returns", "-trials", "20"},
 			[]string{"FIFO", "LIFO", "dominates"}},
+		{"faults crash", []string{"faults", "-scenario", "crash", "-p", "6", "-tasks", "36", "-seed", "3"},
+			[]string{"permanent crashes", "inflation", "dltLost", "vs bound", "in-flight chunks"}},
+		{"faults straggler", []string{"faults", "-scenario", "straggler", "-p", "5", "-tasks", "30", "-seed", "2"},
+			[]string{"slowed to 5%", "speculation", "backups", "no-free-lunch"}},
+		{"faults flaky-link", []string{"faults", "-scenario", "flaky-link", "-p", "4", "-tasks", "24", "-seed", "4"},
+			[]string{"drops 70%", "retries", "exponential backoff", "extraComm"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -94,6 +100,8 @@ func TestCLIErrors(t *testing.T) {
 		{"nonlinear", "-ps", "x"},
 		{"analyze", "-kind", "bogus"},
 		{"rho", "-p", "7"},
+		{"faults", "-scenario", "bogus"},
+		{"faults", "-dist", "bogus"},
 	}
 	for _, args := range cases {
 		if _, err := capture(t, func() error { return run(args) }); err == nil {
@@ -158,6 +166,49 @@ func TestCLISaveAndCompare(t *testing.T) {
 	}
 }
 
+// Golden-style determinism: the same seed must reproduce byte-identical
+// fault records for every scenario, and a different seed must not.
+func TestCLIFaultsRecordsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	for _, scenario := range []string{"crash", "straggler", "flaky-link"} {
+		a := dir + "/" + scenario + "-a.json"
+		b := dir + "/" + scenario + "-b.json"
+		for _, path := range []string{a, b} {
+			if out, err := capture(t, func() error {
+				return run([]string{"faults", "-scenario", scenario, "-p", "5", "-tasks", "20", "-seed", "7", "-out", path})
+			}); err != nil {
+				t.Fatalf("%s: %v\n%s", scenario, err, out)
+			}
+		}
+		ra, err := os.ReadFile(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := os.ReadFile(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ra) != string(rb) {
+			t.Errorf("%s: same seed produced different records", scenario)
+		}
+		if out, err := capture(t, func() error { return run([]string{"compare", a, b}) }); err != nil {
+			t.Errorf("%s: self-compare failed: %v\n%s", scenario, err, out)
+		}
+	}
+	// A different seed shifts the crash pattern.
+	c := dir + "/crash-c.json"
+	if _, err := capture(t, func() error {
+		return run([]string{"faults", "-scenario", "crash", "-p", "5", "-tasks", "20", "-seed", "8", "-out", c})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"compare", "-tol", "0.0001", dir + "/crash-a.json", c})
+	}); err == nil {
+		t.Error("different seeds should produce differing crash records")
+	}
+}
+
 func TestCLIAll(t *testing.T) {
 	dir := t.TempDir()
 	out, err := capture(t, func() error {
@@ -168,7 +219,7 @@ func TestCLIAll(t *testing.T) {
 	}
 	for _, want := range []string{
 		"e1-nonlinear.json", "fig4-uniform.json", "e12-partition-quality.json",
-		"ext-affinity.json", "ext-bottleneck.json",
+		"ext-affinity.json", "ext-bottleneck.json", "ext-faults.json",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("all output missing %q", want)

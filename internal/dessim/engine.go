@@ -19,9 +19,40 @@ import (
 
 // event is a scheduled callback.
 type event struct {
-	time   float64
-	seq    int64 // FIFO tie-break for equal times
-	action func()
+	time      float64
+	seq       int64 // FIFO tie-break for equal times
+	action    func()
+	cancelled bool
+	fired     bool
+}
+
+// Handle names a scheduled event so it can be cancelled before it fires —
+// the primitive behind fault handling: a worker crash must be able to
+// retract the completion events of whatever that worker had in flight.
+// The zero Handle and the nil Handle are both inert.
+type Handle struct {
+	ev *event
+}
+
+// Cancel retracts the event if it has not fired yet. Cancelling an
+// already-fired or already-cancelled event is a no-op, as is cancelling a
+// nil or zero Handle — callers never need to track firing state to cancel
+// safely.
+func (h *Handle) Cancel() {
+	if h == nil || h.ev == nil || h.ev.fired {
+		return
+	}
+	h.ev.cancelled = true
+}
+
+// Cancelled reports whether Cancel retracted the event before it fired.
+func (h *Handle) Cancelled() bool {
+	return h != nil && h.ev != nil && h.ev.cancelled
+}
+
+// Fired reports whether the event has already executed.
+func (h *Handle) Fired() bool {
+	return h != nil && h.ev != nil && h.ev.fired
 }
 
 // eventQueue is a min-heap on (time, seq).
@@ -67,8 +98,20 @@ func (e *Engine) Now() float64 { return e.now }
 func (e *Engine) Steps() int64 { return e.steps }
 
 // At schedules action at absolute time t. Scheduling in the past (t < Now)
-// panics: it would violate causality.
+// panics: it would violate causality. Scheduling exactly at Now is legal
+// and the event fires after the currently executing one (FIFO order).
 func (e *Engine) At(t float64, action func()) {
+	e.Schedule(t, action)
+}
+
+// After schedules action d time units from now (d must be >= 0).
+func (e *Engine) After(d float64, action func()) {
+	e.ScheduleAfter(d, action)
+}
+
+// Schedule is At returning a Handle that can cancel the event before it
+// fires.
+func (e *Engine) Schedule(t float64, action func()) *Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("dessim: scheduling at %v before now=%v", t, e.now))
 	}
@@ -76,15 +119,17 @@ func (e *Engine) At(t float64, action func()) {
 		panic("dessim: scheduling at NaN time")
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{time: t, seq: e.seq, action: action})
+	ev := &event{time: t, seq: e.seq, action: action}
+	heap.Push(&e.queue, ev)
+	return &Handle{ev: ev}
 }
 
-// After schedules action d time units from now (d must be >= 0).
-func (e *Engine) After(d float64, action func()) {
+// ScheduleAfter is After returning a cancellation Handle.
+func (e *Engine) ScheduleAfter(d float64, action func()) *Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("dessim: negative delay %v", d))
 	}
-	e.At(e.now+d, action)
+	return e.Schedule(e.now+d, action)
 }
 
 // Run executes events until the queue drains and returns the final clock
@@ -97,12 +142,14 @@ func (e *Engine) Run() float64 {
 }
 
 // RunUntil executes events with time ≤ t, then sets the clock to t (if it
-// is not already past it) and returns the number of events executed.
+// is not already past it) and returns the number of events executed
+// (cancelled events are discarded without counting).
 func (e *Engine) RunUntil(t float64) int64 {
 	n := int64(0)
 	for e.queue.Len() > 0 && e.queue[0].time <= t {
-		e.step()
-		n++
+		if e.step() {
+			n++
+		}
 	}
 	if e.now < t {
 		e.now = t
@@ -110,14 +157,32 @@ func (e *Engine) RunUntil(t float64) int64 {
 	return n
 }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.queue.Len() }
+// Pending returns the number of queued events, not counting events already
+// cancelled (they still occupy the queue until their time comes, but will
+// never execute).
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
 
-func (e *Engine) step() {
+// step pops the next event. A cancelled event is dropped without running
+// its action, advancing the clock, or counting a step; step reports
+// whether an action actually executed.
+func (e *Engine) step() bool {
 	ev := heap.Pop(&e.queue).(*event)
+	if ev.cancelled {
+		return false
+	}
 	e.now = ev.time
 	e.steps++
+	ev.fired = true
 	ev.action()
+	return true
 }
 
 // Resource models an exclusive serially-reusable resource (a CPU, or the

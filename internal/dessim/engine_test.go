@@ -105,6 +105,120 @@ func TestEnginePanicsOnNaN(t *testing.T) {
 	NewEngine().At(math.NaN(), func() {})
 }
 
+func TestEngineZeroDurationEvent(t *testing.T) {
+	// After(0) from inside an event must fire at the same clock value,
+	// after the currently running event (FIFO), not be lost or reordered.
+	e := NewEngine()
+	var order []string
+	e.At(1, func() {
+		order = append(order, "outer")
+		e.After(0, func() {
+			order = append(order, "inner")
+			if e.Now() != 1 {
+				t.Errorf("zero-duration event fired at %v, want 1", e.Now())
+			}
+		})
+	})
+	e.At(1, func() { order = append(order, "sibling") })
+	if end := e.Run(); end != 1 {
+		t.Errorf("makespan = %v, want 1", end)
+	}
+	want := []string{"outer", "sibling", "inner"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineScheduleAtCurrentClock(t *testing.T) {
+	// Scheduling exactly at Now() (not in the past) is legal, both before
+	// the run starts and from inside an event.
+	e := NewEngine()
+	ran := 0
+	e.At(0, func() {
+		ran++
+		e.At(e.Now(), func() { ran++ }) // t == now: allowed
+	})
+	e.Run()
+	if ran != 2 {
+		t.Errorf("ran %d events, want 2", ran)
+	}
+}
+
+func TestEngineCancelPendingEvent(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.At(1, func() { fired = append(fired, 1) })
+	h := e.Schedule(2, func() { fired = append(fired, 2) })
+	e.At(3, func() { fired = append(fired, 3) })
+	h.Cancel()
+	if !h.Cancelled() {
+		t.Error("handle should report cancelled")
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2 (cancelled event excluded)", e.Pending())
+	}
+	end := e.Run()
+	if end != 3 {
+		t.Errorf("makespan = %v, want 3", end)
+	}
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Errorf("fired = %v, want [1 3]", fired)
+	}
+	if e.Steps() != 2 {
+		t.Errorf("steps = %d, want 2 (cancelled events are not steps)", e.Steps())
+	}
+}
+
+func TestEngineCancelFiredEventIsNoop(t *testing.T) {
+	// Cancelling an event that already fired must be a no-op, not a panic,
+	// and must not disturb the rest of the run.
+	e := NewEngine()
+	ran := 0
+	h := e.Schedule(1, func() { ran++ })
+	e.At(2, func() {
+		h.Cancel() // h fired at t=1; this must do nothing
+		if h.Cancelled() {
+			t.Error("a fired event must not become cancelled")
+		}
+		if !h.Fired() {
+			t.Error("handle should report fired")
+		}
+		ran++
+	})
+	e.Run()
+	if ran != 2 {
+		t.Errorf("ran %d events, want 2", ran)
+	}
+	h.Cancel() // and again after the run drains: still a no-op
+}
+
+func TestEngineCancelNilAndZeroHandles(t *testing.T) {
+	var nilH *Handle
+	nilH.Cancel() // must not panic
+	var zero Handle
+	zero.Cancel() // must not panic
+	if nilH.Cancelled() || zero.Cancelled() || nilH.Fired() || zero.Fired() {
+		t.Error("inert handles should report neither cancelled nor fired")
+	}
+}
+
+func TestEngineCancelledTailDoesNotAdvanceClock(t *testing.T) {
+	// A cancelled event at the end of the queue must not drag the clock
+	// (and hence the reported makespan) forward.
+	e := NewEngine()
+	e.At(1, func() {})
+	h := e.Schedule(100, func() { t.Error("cancelled event ran") })
+	h.Cancel()
+	if end := e.Run(); end != 1 {
+		t.Errorf("makespan = %v, want 1 (cancelled tail ignored)", end)
+	}
+}
+
 func TestResourceBooking(t *testing.T) {
 	var r Resource
 	s, e := r.Book(0, 5)

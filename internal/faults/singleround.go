@@ -1,0 +1,142 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"nlfl/internal/dessim"
+	"nlfl/internal/platform"
+)
+
+// SingleRoundReport is the outcome of a static single-round schedule
+// executed under a fault scenario. A single-round DLT schedule has no
+// feedback channel: the master sends each chunk exactly once, so any
+// crash — even a transient one — destroys the target worker's in-flight
+// and not-yet-computed chunks with no possibility of re-assignment. The
+// quantities below make the paper's Section 1.1 robustness argument
+// measurable.
+type SingleRoundReport struct {
+	Timeline *dessim.Timeline `json:"-"`
+	// Completed reports whether every chunk finished.
+	Completed bool `json:"completed"`
+	// Makespan is the finish time of the surviving work only.
+	Makespan float64 `json:"makespan"`
+	// CompletedWork and LostWork split the schedule's total work units
+	// into survived and destroyed.
+	CompletedWork float64 `json:"completedWork"`
+	LostWork      float64 `json:"lostWork"`
+	// LostFraction is LostWork / (CompletedWork + LostWork), 0 for an
+	// empty schedule.
+	LostFraction float64 `json:"lostFraction"`
+	// LostData is the shipped data whose computation never survived.
+	LostData float64 `json:"lostData"`
+	// PerWorkerLost[w] is the work lost on worker w.
+	PerWorkerLost []float64 `json:"perWorkerLost"`
+}
+
+// RunSingleRoundUnderFaults executes a static schedule (parallel
+// master→worker links, chunks computed in per-worker emission order)
+// under the fault scenario. Straggler windows stretch computations and
+// LinkSlow windows stretch transfers; the first crash of a worker —
+// permanent or transient — kills its in-flight chunk and everything
+// scheduled after it, because a single-round schedule cannot re-send or
+// re-assign. LinkDrop windows lose chunks outright (there is no retry
+// protocol in single-round DLT). The run is deterministic under the
+// scenario seed.
+func RunSingleRoundUnderFaults(p *platform.Platform, chunks []dessim.Chunk, sc Scenario) (*SingleRoundReport, error) {
+	avail, err := sc.Availability(p.P())
+	if err != nil {
+		return nil, err
+	}
+	eng := dessim.NewEngine()
+	inj, err := NewInjector(eng, p.P(), sc)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SingleRoundReport{
+		Timeline:      dessim.NewTimeline(p.P()),
+		PerWorkerLost: make([]float64, p.P()),
+	}
+	// First crash instant per worker (+Inf when it never crashes).
+	crashAt := make([]float64, p.P())
+	for w := range crashAt {
+		crashAt[w] = math.Inf(1)
+	}
+	for _, e := range sc.Events {
+		if (e.Kind == Crash || e.Kind == Transient) && e.Time < crashAt[e.Worker] {
+			crashAt[e.Worker] = e.Time
+		}
+	}
+
+	linkFree := make([]float64, p.P())
+	cpuFree := make([]float64, p.P())
+	deadHere := make([]bool, p.P()) // worker already lost its schedule tail
+	total := 0.0
+	for idx, ch := range chunks {
+		if ch.Worker < 0 || ch.Worker >= p.P() {
+			return nil, fmt.Errorf("faults: chunk %d targets unknown worker %d", idx, ch.Worker)
+		}
+		if ch.Data < 0 || ch.Work < 0 {
+			return nil, fmt.Errorf("faults: chunk %d has negative size", idx)
+		}
+		w := ch.Worker
+		total += ch.Work
+		if deadHere[w] {
+			rep.LostWork += ch.Work
+			rep.PerWorkerLost[w] += ch.Work
+			continue
+		}
+		wk := p.Worker(w)
+		recvStart := linkFree[w]
+		d := 0.0
+		if ch.Data > 0 {
+			bwf := avail.BandwidthFactor(w, recvStart)
+			d = wk.CommTime(ch.Data) / bwf
+		}
+		recvEnd := recvStart + d
+		linkFree[w] = recvEnd
+		if inj.DropTransfer(w, recvStart) {
+			// The chunk's data never arrives; single-round has no retry.
+			rep.LostWork += ch.Work
+			rep.PerWorkerLost[w] += ch.Work
+			rep.LostData += ch.Data
+			continue
+		}
+		compStart := math.Max(recvEnd, cpuFree[w])
+		compEnd := avail.IntegrateWork(p, w, compStart, ch.Work)
+		// The chunk survives only if both its transfer and its computation
+		// complete strictly before the worker's first crash.
+		if recvEnd > crashAt[w] || compEnd > crashAt[w] || math.IsInf(compEnd, 1) {
+			deadHere[w] = true
+			rep.LostWork += ch.Work
+			rep.PerWorkerLost[w] += ch.Work
+			rep.LostData += ch.Data
+			continue
+		}
+		cpuFree[w] = compEnd
+		rep.Timeline.Add(w, dessim.Interval{Kind: dessim.Receive, Start: recvStart, End: recvEnd, Data: ch.Data, Task: idx})
+		rep.Timeline.Add(w, dessim.Interval{Kind: dessim.Compute, Start: compStart, End: compEnd, Work: ch.Work, Task: idx})
+		rep.CompletedWork += ch.Work
+		if compEnd > rep.Makespan {
+			rep.Makespan = compEnd
+		}
+	}
+	rep.Completed = rep.LostWork == 0
+	if total > 0 {
+		rep.LostFraction = rep.LostWork / total
+	}
+	return rep, nil
+}
+
+// LinearDLTChunks builds the classical single-round linear-DLT allocation
+// for the platform: one chunk per worker, data and work proportional to
+// its normalized speed — the static baseline that loses a dead worker's
+// whole allocation. totalData and totalWork are split exactly.
+func LinearDLTChunks(p *platform.Platform, totalData, totalWork float64) []dessim.Chunk {
+	xs := p.NormalizedSpeeds()
+	chunks := make([]dessim.Chunk, p.P())
+	for i, x := range xs {
+		chunks[i] = dessim.Chunk{Worker: i, Data: x * totalData, Work: x * totalWork}
+	}
+	return chunks
+}

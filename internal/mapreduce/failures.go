@@ -61,10 +61,13 @@ func ScheduleWithFailures(p *platform.Platform, tasks []TaskSpec, failures []Fai
 	for i := range pending {
 		pending[i] = i
 	}
-	// Per-worker state: next free time and the provisional completions of
-	// this epoch (they only become durable if the worker survives... in
-	// this model completions are durable unless the worker later dies —
-	// Hadoop loses map outputs on failure, so we track them per worker).
+	// Per-worker state: next free time and the completions recorded so far.
+	// Durability rule (Hadoop map-phase semantics): a completed task's
+	// output lives on its worker's local disk, so it survives only if that
+	// worker stays alive until the whole job completes. A worker dying at
+	// any earlier point — even while idle, long after its last completion —
+	// sends every task it completed back to the pool. Once the job
+	// completes, outputs are consumed and later failures are free.
 	free := make([]float64, p.P())
 	type execution struct {
 		task   int

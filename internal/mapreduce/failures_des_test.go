@@ -1,0 +1,170 @@
+package mapreduce
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nlfl/internal/platform"
+	"nlfl/internal/stats"
+)
+
+// The durability rule made explicit: a worker's completed map outputs are
+// lost if it dies at ANY point before the job's last task completes —
+// even while sitting idle long after its own last completion. Both the
+// epoch model and its DES port must enforce it.
+func TestIdleWorkerDeathLosesCompletedOutputs(t *testing.T) {
+	pl, err := platform.FromSpeeds([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 unit tasks on 2 unit workers: w0 runs t0 then t2 (finishes at 2),
+	// w1 runs t1 and goes idle at t=1. Killing w1 at t=1.5 — while idle,
+	// before the job ends at t=2 — must lose its completed output.
+	tasks, _ := UniformTasks(3, 0, 1)
+	fails := []Failure{{Worker: 1, Time: 1.5}}
+	for name, run := range map[string]func() (FaultResult, error){
+		"epoch": func() (FaultResult, error) { return ScheduleWithFailures(pl, tasks, fails) },
+		"des":   func() (FaultResult, error) { return ScheduleWithFailuresDES(pl, tasks, fails) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Reexecutions != 1 || res.LostWork != 1 {
+			t.Errorf("%s: idle death should lose the completed task: %+v", name, res)
+		}
+		if res.TasksPerWorker[1] != 0 {
+			t.Errorf("%s: dead worker kept credit: %+v", name, res)
+		}
+		if res.TasksPerWorker[0] != 3 {
+			t.Errorf("%s: survivor should end up with every task: %+v", name, res)
+		}
+		// w0's in-flight t2 bounces at the boundary; it then runs the
+		// re-queued t1 and t2 back to back from 1.5.
+		if math.Abs(res.Makespan-3.5) > 1e-9 {
+			t.Errorf("%s: makespan = %v, want 3.5", name, res.Makespan)
+		}
+	}
+	// The counterpart: dying after the job completed is free.
+	for name, run := range map[string]func() (FaultResult, error){
+		"epoch": func() (FaultResult, error) {
+			return ScheduleWithFailures(pl, tasks, []Failure{{Worker: 1, Time: 2.5}})
+		},
+		"des": func() (FaultResult, error) {
+			return ScheduleWithFailuresDES(pl, tasks, []Failure{{Worker: 1, Time: 2.5}})
+		},
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Reexecutions != 0 || res.TasksPerWorker[1] != 1 || res.Makespan != 2 {
+			t.Errorf("%s: post-completion death should be free: %+v", name, res)
+		}
+	}
+}
+
+func TestDESMatchesEpochOnKnownScenarios(t *testing.T) {
+	pl, err := platform.FromSpeeds([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, _ := UniformTasks(10, 0, 1)
+	res, err := ScheduleWithFailuresDES(pl, tasks, []Failure{{Worker: 1, Time: 3.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksPerWorker[1] != 0 || res.TasksPerWorker[0] != 10 ||
+		res.Reexecutions != 3 || res.LostWork != 3 || res.Makespan < 10 {
+		t.Errorf("DES diverged on the reference scenario: %+v", res)
+	}
+
+	if _, err := ScheduleWithFailuresDES(pl, tasks, []Failure{{Worker: 0, Time: 1}, {Worker: 1, Time: 1}}); err == nil {
+		t.Error("killing every worker mid-job should fail")
+	}
+	if _, err := ScheduleWithFailuresDES(pl, []TaskSpec{{Work: -1}}, nil); err == nil {
+		t.Error("negative work accepted")
+	}
+	if _, err := ScheduleWithFailuresDES(pl, tasks, []Failure{{Worker: 9, Time: 1}}); err == nil {
+		t.Error("unknown worker accepted")
+	}
+	if _, err := ScheduleWithFailuresDES(pl, tasks, []Failure{{Worker: 0, Time: -2}}); err == nil {
+		t.Error("negative failure time accepted")
+	}
+}
+
+func TestDESDuplicateFailureIsNoop(t *testing.T) {
+	pl, err := platform.FromSpeeds([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, _ := UniformTasks(9, 0, 1)
+	a, err := ScheduleWithFailuresDES(pl, tasks, []Failure{{Worker: 2, Time: 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScheduleWithFailuresDES(pl, tasks, []Failure{{Worker: 2, Time: 1.5}, {Worker: 2, Time: 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Reexecutions != b.Reexecutions || a.LostWork != b.LostWork {
+		t.Errorf("duplicate failure of a dead worker changed the DES outcome: %+v vs %+v", a, b)
+	}
+}
+
+// Property cross-check: for failures on distinct workers, the DES port and
+// the epoch model produce the same makespan, credit, and loss accounting
+// (the domain where the two models are defined to coincide; duplicate
+// failures on dead workers are the epoch model's documented acausal
+// corner and are excluded).
+func TestDESCrossChecksEpochModel(t *testing.T) {
+	f := func(seed int64, nt uint8, when uint8) bool {
+		r := stats.NewRNG(seed)
+		p := 2 + r.Intn(5)
+		pl, err := platform.Generate(p, stats.Uniform{Lo: 0.5, Hi: 4}, r)
+		if err != nil {
+			return false
+		}
+		tasks := make([]TaskSpec, int(nt%40)+1)
+		for i := range tasks {
+			tasks[i] = TaskSpec{Work: 1}
+		}
+		clean, err := ScheduleWithFailures(pl, tasks, nil)
+		if err != nil {
+			return false
+		}
+		nKill := r.Intn(p)
+		var fails []Failure
+		for k := 0; k < nKill; k++ {
+			ft := clean.Makespan * (0.05 + 0.9*float64(when)/255) * (1 + 0.1*float64(k))
+			fails = append(fails, Failure{Worker: k, Time: ft})
+		}
+		epoch, errE := ScheduleWithFailures(pl, tasks, fails)
+		des, errD := ScheduleWithFailuresDES(pl, tasks, fails)
+		if (errE == nil) != (errD == nil) {
+			return false
+		}
+		if errE != nil {
+			return true
+		}
+		if math.Abs(epoch.Makespan-des.Makespan) > 1e-9 {
+			return false
+		}
+		if epoch.Reexecutions != des.Reexecutions {
+			return false
+		}
+		if math.Abs(epoch.LostWork-des.LostWork) > 1e-9 {
+			return false
+		}
+		for w := range epoch.TasksPerWorker {
+			if epoch.TasksPerWorker[w] != des.TasksPerWorker[w] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

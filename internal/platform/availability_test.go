@@ -1,0 +1,154 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAvailabilityFactors(t *testing.T) {
+	a := NewAvailability(2)
+	if err := a.AddSpeedWindow(0, Window{Start: 1, End: 3, Factor: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddSpeedWindow(0, Window{Start: 2, End: 4, Factor: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddBandwidthWindow(1, Window{Start: 0, End: 2, Factor: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		w    int
+		t    float64
+		want float64
+	}{
+		{0, 0.5, 1},    // before any window
+		{0, 1.5, 0.5},  // first window only
+		{0, 2.5, 0.25}, // overlap multiplies
+		{0, 3.5, 0.5},  // second window only
+		{0, 4.0, 1},    // End is exclusive
+	}
+	for _, c := range cases {
+		if got := a.SpeedFactor(c.w, c.t); got != c.want {
+			t.Errorf("SpeedFactor(%d, %v) = %v, want %v", c.w, c.t, got, c.want)
+		}
+	}
+	if got := a.BandwidthFactor(1, 1); got != 0.25 {
+		t.Errorf("BandwidthFactor = %v, want 0.25", got)
+	}
+	if got := a.BandwidthFactor(0, 1); got != 1 {
+		t.Errorf("unaffected worker's bandwidth factor = %v, want 1", got)
+	}
+}
+
+func TestAvailabilityValidation(t *testing.T) {
+	a := NewAvailability(1)
+	bad := []Window{
+		{Start: -1, End: 2, Factor: 1},
+		{Start: 2, End: 2, Factor: 1},
+		{Start: 3, End: 2, Factor: 1},
+		{Start: 0, End: 1, Factor: -0.5},
+		{Start: math.NaN(), End: 1, Factor: 1},
+	}
+	for _, w := range bad {
+		if err := a.AddSpeedWindow(0, w); err == nil {
+			t.Errorf("window %+v should be rejected", w)
+		}
+	}
+	if err := a.AddSpeedWindow(5, Window{Start: 0, End: 1, Factor: 1}); err == nil {
+		t.Error("unknown worker should be rejected")
+	}
+}
+
+func TestAvailabilitySurvivors(t *testing.T) {
+	a := NewAvailability(3)
+	// Worker 1: permanent crash at t=5. Worker 2: transient outage [2,4).
+	if err := a.AddSpeedWindow(1, Window{Start: 5, End: math.Inf(1), Factor: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddSpeedWindow(2, Window{Start: 2, End: 4, Factor: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Alive(1, 4.9) || a.Alive(1, 5) || a.Alive(2, 3) || !a.Alive(2, 4) {
+		t.Error("aliveness windows wrong")
+	}
+	if a.PermanentlyDownBy(2, 3) {
+		t.Error("transient outage misreported as permanent")
+	}
+	if !a.PermanentlyDownBy(1, 6) {
+		t.Error("permanent crash not detected")
+	}
+	got := a.Survivors(6)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Survivors(6) = %v, want [0 2]", got)
+	}
+}
+
+func TestAvailabilityIntegrateWork(t *testing.T) {
+	p, err := FromSpeeds([]float64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAvailability(2)
+	// Worker 0 at speed 2, halved on [1,3): 4 units starting at 0 run
+	// 1s at rate 2 (2 units), then need 2 more units at rate 1 → t=3.
+	if err := a.AddSpeedWindow(0, Window{Start: 1, End: 3, Factor: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.IntegrateWork(p, 0, 0, 4); math.Abs(got-3) > 1e-12 {
+		t.Errorf("IntegrateWork = %v, want 3", got)
+	}
+	// Zero work completes instantly; nominal worker is linear.
+	if got := a.IntegrateWork(p, 1, 7, 0); got != 7 {
+		t.Errorf("zero work finish = %v, want 7", got)
+	}
+	if got := a.IntegrateWork(p, 1, 2, 5); math.Abs(got-7) > 1e-12 {
+		t.Errorf("nominal finish = %v, want 7", got)
+	}
+	// Frozen forever: starvation returns +Inf.
+	if err := a.AddSpeedWindow(1, Window{Start: 10, End: math.Inf(1), Factor: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.IntegrateWork(p, 1, 9, 100); !math.IsInf(got, 1) {
+		t.Errorf("starved finish = %v, want +Inf", got)
+	}
+	// But work that fits before the freeze completes.
+	if got := a.IntegrateWork(p, 1, 9, 1); math.Abs(got-10) > 1e-12 {
+		t.Errorf("finish before freeze = %v, want 10", got)
+	}
+}
+
+func TestSurvivorPlatform(t *testing.T) {
+	p, err := FromSpeeds([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAvailability(3)
+	if err := a.AddSpeedWindow(1, Window{Start: 0, End: math.Inf(1), Factor: 0}); err != nil {
+		t.Fatal(err)
+	}
+	sub, idx, err := a.SurvivorPlatform(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.P() != 2 || idx[0] != 0 || idx[1] != 2 {
+		t.Errorf("survivors = %v (p=%d), want [0 2]", idx, sub.P())
+	}
+	if sub.Worker(1).Speed != 3 {
+		t.Errorf("survivor speed = %v, want 3", sub.Worker(1).Speed)
+	}
+	// All dead → error.
+	if err := a.AddSpeedWindow(0, Window{Start: 0, End: math.Inf(1), Factor: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddSpeedWindow(2, Window{Start: 0, End: math.Inf(1), Factor: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.SurvivorPlatform(p, 1); err == nil {
+		t.Error("no survivors should error")
+	}
+	// Mismatched platform size.
+	small, _ := FromSpeeds([]float64{1})
+	if _, _, err := a.SurvivorPlatform(small, 0); err == nil {
+		t.Error("size mismatch should error")
+	}
+}
