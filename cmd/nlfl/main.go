@@ -17,6 +17,7 @@
 //	matmul     Section 4.2: layout communication volumes on a real product
 //	mapreduce  Sections 1.1/4: MapReduce distribution comparison + demo job
 //	faults     Section 1.1: robustness under crashes, stragglers, flaky links
+//	trace      Trace one executor run, audit invariants, render Gantt/Chrome JSON
 //	analyze    The core divisibility verdict for a workload
 //	demo       Run every experiment with small settings (smoke test)
 package main
@@ -54,6 +55,7 @@ func commands() []command {
 		{"returns", "result collection (FIFO vs LIFO) — the §1.2 exclusion restored", runReturns},
 		{"affinity", "the conclusion's affinity-aware demand-driven scheduler", runAffinity},
 		{"faults", "robustness under crashes, stragglers and flaky links", runFaults},
+		{"trace", "run one executor, audit its trace, render Gantt/Chrome JSON", runTrace},
 		{"analyze", "divisibility verdict for a workload", runAnalyze},
 		{"compare", "diff two saved JSON result records", runCompare},
 		{"all", "run every experiment with paper settings and save JSON records", runAll},

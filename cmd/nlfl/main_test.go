@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -76,6 +77,18 @@ func TestCLISubcommands(t *testing.T) {
 			[]string{"slowed to 5%", "speculation", "backups", "no-free-lunch"}},
 		{"faults flaky-link", []string{"faults", "-scenario", "flaky-link", "-p", "4", "-tasks", "24", "-seed", "4"},
 			[]string{"drops 70%", "retries", "exponential backoff", "extraComm"}},
+		{"trace resilient", []string{"trace", "-executor", "resilient", "-scenario", "crash", "-p", "4", "-tasks", "16", "-seed", "3"},
+			[]string{"resilient executor", "P1", "invariants: ok", "useful work", "utilization"}},
+		{"trace single-round", []string{"trace", "-executor", "single-round", "-scenario", "crash", "-p", "4", "-tasks", "16", "-seed", "3"},
+			[]string{"single-round executor", "invariants: ok", "makespan"}},
+		{"trace demand", []string{"trace", "-executor", "demand", "-p", "4", "-tasks", "16"},
+			[]string{"demand executor", "invariants: ok"}},
+		{"trace dlt", []string{"trace", "-executor", "dlt", "-p", "4", "-tasks", "16"},
+			[]string{"dlt executor", "invariants: ok"}},
+		{"trace sort", []string{"trace", "-executor", "sort", "-p", "4", "-tasks", "16"},
+			[]string{"sort executor", "invariants: ok"}},
+		{"trace flaky gantt", []string{"trace", "-executor", "resilient", "-scenario", "flaky-link", "-p", "4", "-tasks", "24", "-seed", "4", "-w", "60"},
+			[]string{"%", "invariants: ok", "faults"}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -102,6 +115,11 @@ func TestCLIErrors(t *testing.T) {
 		{"rho", "-p", "7"},
 		{"faults", "-scenario", "bogus"},
 		{"faults", "-dist", "bogus"},
+		{"trace", "-executor", "bogus"},
+		{"trace", "-scenario", "bogus"},
+		{"trace", "-executor", "dlt", "-scenario", "crash"},
+		{"trace", "-dist", "bogus"},
+		{"trace", "-p", "1"},
 	}
 	for _, args := range cases {
 		if _, err := capture(t, func() error { return run(args) }); err == nil {
@@ -206,6 +224,72 @@ func TestCLIFaultsRecordsDeterministic(t *testing.T) {
 		return run([]string{"compare", "-tol", "0.0001", dir + "/crash-a.json", c})
 	}); err == nil {
 		t.Error("different seeds should produce differing crash records")
+	}
+}
+
+// Golden determinism for `nlfl trace`: the same seed must reproduce
+// byte-identical stdout (Gantt + metrics) and byte-identical Chrome
+// trace_event JSON; a different seed must shift the JSON.
+func TestCLITraceGolden(t *testing.T) {
+	dir := t.TempDir()
+	for _, executor := range []string{"resilient", "single-round", "demand", "dlt", "sort"} {
+		scenario := "none"
+		if executor == "resilient" || executor == "single-round" {
+			scenario = "crash"
+		}
+		var outs [2]string
+		var jsons [2][]byte
+		for i := range outs {
+			path := dir + "/" + executor + string(rune('a'+i)) + ".json"
+			out, err := capture(t, func() error {
+				return run([]string{"trace", "-executor", executor, "-scenario", scenario,
+					"-p", "4", "-tasks", "16", "-seed", "7", "-out", path})
+			})
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", executor, err, out)
+			}
+			// The two runs write to different paths; drop the trailing
+			// "wrote <path>" line before comparing the rendering.
+			outs[i] = strings.Split(out, "wrote ")[0]
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jsons[i] = b
+		}
+		if outs[0] != outs[1] {
+			t.Errorf("%s: same seed produced different stdout", executor)
+		}
+		if string(jsons[0]) != string(jsons[1]) {
+			t.Errorf("%s: same seed produced different Chrome JSON", executor)
+		}
+		if !json.Valid(jsons[0]) {
+			t.Errorf("%s: Chrome trace is not valid JSON", executor)
+		}
+		for _, want := range []string{`"displayTimeUnit"`, `"traceEvents"`, `"ph": "X"`, `"thread_name"`} {
+			if !strings.Contains(string(jsons[0]), want) {
+				t.Errorf("%s: Chrome trace missing %q", executor, want)
+			}
+		}
+	}
+	// A different seed shifts the platform and therefore the span layout.
+	other := dir + "/resilient-seed8.json"
+	if _, err := capture(t, func() error {
+		return run([]string{"trace", "-executor", "resilient", "-scenario", "crash",
+			"-p", "4", "-tasks", "16", "-seed", "8", "-out", other})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := os.ReadFile(dir + "/resilienta.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := os.ReadFile(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ra) == string(rb) {
+		t.Error("different seeds produced identical Chrome JSON")
 	}
 }
 

@@ -31,7 +31,8 @@ type event struct {
 // retract the completion events of whatever that worker had in flight.
 // The zero Handle and the nil Handle are both inert.
 type Handle struct {
-	ev *event
+	ev  *event
+	eng *Engine
 }
 
 // Cancel retracts the event if it has not fired yet. Cancelling an
@@ -39,10 +40,13 @@ type Handle struct {
 // nil or zero Handle — callers never need to track firing state to cancel
 // safely.
 func (h *Handle) Cancel() {
-	if h == nil || h.ev == nil || h.ev.fired {
+	if h == nil || h.ev == nil || h.ev.fired || h.ev.cancelled {
 		return
 	}
 	h.ev.cancelled = true
+	if h.eng != nil && h.eng.sink != nil {
+		h.eng.sink.EventCancelled(h.ev.seq, h.eng.now)
+	}
 }
 
 // Cancelled reports whether Cancel retracted the event before it fired.
@@ -78,6 +82,19 @@ func (q *eventQueue) Pop() interface{} {
 	return e
 }
 
+// TraceSink observes the engine's event lifecycle. All callbacks run
+// synchronously on the simulation's goroutine; implementations must not
+// schedule or cancel events from inside a callback.
+type TraceSink interface {
+	// EventScheduled fires when an event is queued for time `at` while the
+	// clock reads `now`.
+	EventScheduled(seq int64, now, at float64)
+	// EventFired fires just before a (non-cancelled) event's action runs.
+	EventFired(seq int64, at float64)
+	// EventCancelled fires when a pending event is retracted at time `now`.
+	EventCancelled(seq int64, now float64)
+}
+
 // Engine is the discrete-event core: a virtual clock plus a time-ordered
 // queue of callbacks. Events scheduled at equal times run in scheduling
 // order (FIFO), making simulations fully deterministic.
@@ -86,10 +103,16 @@ type Engine struct {
 	queue eventQueue
 	seq   int64
 	steps int64
+	sink  TraceSink
 }
 
 // NewEngine returns an engine with the clock at 0.
 func NewEngine() *Engine { return &Engine{} }
+
+// SetSink attaches a trace sink (nil detaches). The sink observes every
+// schedule/fire/cancel from then on; attach it before the first event for
+// a complete record.
+func (e *Engine) SetSink(s TraceSink) { e.sink = s }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() float64 { return e.now }
@@ -121,7 +144,10 @@ func (e *Engine) Schedule(t float64, action func()) *Handle {
 	e.seq++
 	ev := &event{time: t, seq: e.seq, action: action}
 	heap.Push(&e.queue, ev)
-	return &Handle{ev: ev}
+	if e.sink != nil {
+		e.sink.EventScheduled(ev.seq, e.now, t)
+	}
+	return &Handle{ev: ev, eng: e}
 }
 
 // ScheduleAfter is After returning a cancellation Handle.
@@ -181,8 +207,16 @@ func (e *Engine) step() bool {
 	e.now = ev.time
 	e.steps++
 	ev.fired = true
+	if e.sink != nil {
+		e.sink.EventFired(ev.seq, ev.time)
+	}
 	ev.action()
 	return true
+}
+
+// Booking is one reserved interval on a recording Resource.
+type Booking struct {
+	Start, End float64
 }
 
 // Resource models an exclusive serially-reusable resource (a CPU, or the
@@ -190,8 +224,23 @@ func (e *Engine) step() bool {
 // earliest interval of the given duration starting no sooner than t and
 // returns its bounds.
 type Resource struct {
-	freeAt float64
-	busy   float64
+	freeAt   float64
+	busy     float64
+	record   bool
+	bookings []Booking
+}
+
+// Record toggles booking capture: while on, every Book call appends its
+// interval to the list returned by Bookings — the raw per-resource busy
+// record the trace layer cross-checks executor timelines against.
+func (r *Resource) Record(on bool) { r.record = on }
+
+// Bookings returns a copy of the captured booking intervals, in booking
+// order (empty unless Record(true) was set before the bookings).
+func (r *Resource) Bookings() []Booking {
+	out := make([]Booking, len(r.bookings))
+	copy(out, r.bookings)
+	return out
 }
 
 // Book reserves [start, start+dur) with start = max(t, next free time).
@@ -206,6 +255,9 @@ func (r *Resource) Book(t, dur float64) (start, end float64) {
 	end = start + dur
 	r.freeAt = end
 	r.busy += dur
+	if r.record {
+		r.bookings = append(r.bookings, Booking{Start: start, End: end})
+	}
 	return start, end
 }
 

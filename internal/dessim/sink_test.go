@@ -1,0 +1,79 @@
+package dessim
+
+import "testing"
+
+// countingSink records every lifecycle callback in order.
+type countingSink struct {
+	scheduled, fired, cancelled int
+	lastSeq                     int64
+	lastNow                     float64
+}
+
+func (s *countingSink) EventScheduled(seq int64, now, at float64) {
+	s.scheduled++
+	s.lastSeq = seq
+}
+func (s *countingSink) EventFired(seq int64, at float64) { s.fired++ }
+func (s *countingSink) EventCancelled(seq int64, now float64) {
+	s.cancelled++
+	s.lastNow = now
+}
+
+func TestEngineSinkLifecycle(t *testing.T) {
+	eng := NewEngine()
+	sink := &countingSink{}
+	eng.SetSink(sink)
+	var h *Handle
+	eng.At(1, func() {
+		h.Cancel() // cancel the later event from inside an earlier one
+	})
+	h = eng.Schedule(2, func() { t.Error("cancelled event fired") })
+	eng.Schedule(3, func() {})
+	eng.Run()
+	if sink.scheduled != 3 || sink.fired != 2 || sink.cancelled != 1 {
+		t.Errorf("sink counts: %+v", sink)
+	}
+	if sink.lastNow != 1 {
+		t.Errorf("cancellation observed at %v, want 1 (the cancelling event's time)", sink.lastNow)
+	}
+	// Double-cancel must not re-notify.
+	h.Cancel()
+	if sink.cancelled != 1 {
+		t.Error("double cancel re-notified the sink")
+	}
+	// Detaching stops notifications.
+	eng.SetSink(nil)
+	eng.Schedule(4, func() {})
+	eng.Run()
+	if sink.scheduled != 3 || sink.fired != 2 {
+		t.Errorf("detached sink still notified: %+v", sink)
+	}
+}
+
+func TestResourceBookingsRecord(t *testing.T) {
+	var r Resource
+	r.Book(0, 1) // not recorded: capture is off
+	r.Record(true)
+	s1, e1 := r.Book(0, 2) // queues behind the first booking
+	s2, e2 := r.Book(1, 1)
+	bs := r.Bookings()
+	if len(bs) != 2 {
+		t.Fatalf("got %d bookings, want 2 (pre-Record booking must not appear)", len(bs))
+	}
+	if bs[0] != (Booking{Start: s1, End: e1}) || bs[1] != (Booking{Start: s2, End: e2}) {
+		t.Errorf("bookings %v, want [{%v %v} {%v %v}]", bs, s1, e1, s2, e2)
+	}
+	if s1 != 1 || e1 != 3 || s2 != 3 || e2 != 4 {
+		t.Errorf("booking times: [%v,%v] [%v,%v]", s1, e1, s2, e2)
+	}
+	// Bookings returns a copy, not the internal slice.
+	bs[0].Start = -99
+	if r.Bookings()[0].Start == -99 {
+		t.Error("Bookings exposed internal state")
+	}
+	r.Record(false)
+	r.Book(10, 1)
+	if len(r.Bookings()) != 2 {
+		t.Error("booking recorded while capture was off")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"nlfl/internal/dessim"
 	"nlfl/internal/platform"
+	"nlfl/internal/trace"
 )
 
 // MultiRoundUniform splits an allocation's shares into `rounds` equal
@@ -83,4 +84,23 @@ func SimulatedMakespan(p *platform.Platform, chunks []dessim.Chunk, mode dessim.
 		return 0, err
 	}
 	return tl.Makespan, nil
+}
+
+// SimulatedTimeline executes chunks like SimulatedMakespan but returns the
+// full structured trace, already audited: the dessim record is validated,
+// converted, and passed through the trace invariant checker before being
+// handed back.
+func SimulatedTimeline(p *platform.Platform, chunks []dessim.Chunk, mode dessim.CommMode) (*trace.Timeline, error) {
+	tl, err := dessim.RunSingleRound(p, chunks, mode)
+	if err != nil {
+		return nil, err
+	}
+	if err := tl.Validate(); err != nil {
+		return nil, err
+	}
+	tr := trace.FromDessim(tl)
+	if err := trace.Must(trace.Check(tr, nil)); err != nil {
+		return nil, err
+	}
+	return tr, nil
 }

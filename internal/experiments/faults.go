@@ -8,6 +8,7 @@ import (
 	"nlfl/internal/platform"
 	"nlfl/internal/results"
 	"nlfl/internal/stats"
+	"nlfl/internal/trace"
 )
 
 // FaultSweepConfig parameterizes the robustness experiment: the same
@@ -54,6 +55,10 @@ func DefaultFaultSweepConfig() FaultSweepConfig {
 // degradation, the single-round loss, and the re-planning volume price.
 type FaultSweepRow struct {
 	Metrics results.FaultMetrics `json:"metrics"`
+	// DDTrace summarizes the demand-driven run's trace (utilization,
+	// makespan decomposition, wasted-work fraction). The underlying
+	// timeline is audited by trace.Check before the row is emitted.
+	DDTrace results.TraceMetrics `json:"ddTrace"`
 	// Demand-driven raw numbers.
 	BaselineMakespan float64 `json:"baselineMakespan"`
 	DDMakespan       float64 `json:"ddMakespan"`
@@ -123,8 +128,31 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %d crashes: %w", k, err)
 		}
+		// The embedded oracle: every sweep point's demand-driven trace must
+		// satisfy the structural invariants and reconcile with the
+		// executor's own ledger before we trust its numbers.
+		if err := trace.Must(trace.Check(dd.Trace, &trace.Expect{
+			HasWork:       true,
+			TotalWork:     totalWork,
+			ProcessedWork: totalWork,
+			LostWork:      dd.LostWork,
+			WastedWork:    dd.WastedWork,
+			HasComm:       true,
+			ShippedData:   dd.DataShipped,
+		})); err != nil {
+			return nil, fmt.Errorf("experiments: %d crashes: %w", k, err)
+		}
 		sr, err := faults.RunSingleRoundUnderFaults(pl, chunks, sc)
 		if err != nil {
+			return nil, fmt.Errorf("experiments: single-round under %d crashes: %w", k, err)
+		}
+		if err := trace.Must(trace.Check(sr.Trace, &trace.Expect{
+			HasWork:         true,
+			TotalWork:       totalWork,
+			ProcessedWork:   sr.CompletedWork,
+			UnprocessedWork: sr.LostWork,
+			LostWork:        sr.LostWork,
+		})); err != nil {
 			return nil, fmt.Errorf("experiments: single-round under %d crashes: %w", k, err)
 		}
 		row := FaultSweepRow{
@@ -141,6 +169,7 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepRow, error) {
 			DDLostWork:       dd.LostWork,
 			DLTLostWork:      sr.LostWork,
 		}
+		row.DDTrace = trace.MetricsOf(dd.Trace)
 		if dd.DataShipped > 0 {
 			row.Metrics.ExtraCommFraction = dd.ExtraComm / dd.DataShipped
 		}

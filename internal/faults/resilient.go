@@ -6,6 +6,7 @@ import (
 
 	"nlfl/internal/dessim"
 	"nlfl/internal/platform"
+	"nlfl/internal/trace"
 )
 
 // ResilientOptions tunes the fault tolerance of the resilient
@@ -27,6 +28,10 @@ type ResilientOptions struct {
 	// idle worker may launch one backup copy of the running task with the
 	// latest projected finish, if it can beat that finish.
 	Speculate bool
+	// Sink, when non-nil, observes the engine's event lifecycle
+	// (schedule/fire/cancel) — attach a trace.Recorder to audit the run's
+	// causal order alongside the structured Trace.
+	Sink dessim.TraceSink
 }
 
 func (o ResilientOptions) withDefaults() (ResilientOptions, error) {
@@ -58,6 +63,10 @@ type Report struct {
 	// can exceed the job's (a losing speculative copy may still be
 	// computing after the last task completed).
 	Timeline *dessim.Timeline `json:"-"`
+	// Trace is the structured record of the same run: spans carry
+	// outcomes (ok/dropped/killed/wasted) and the fault instants appear
+	// as markers, so trace.Check can audit the executor's claims.
+	Trace *trace.Timeline `json:"-"`
 	// Makespan is the first-completion time of the last task.
 	Makespan float64 `json:"makespan"`
 	// TasksPerWorker counts winning executions per worker.
@@ -129,13 +138,18 @@ func RunResilientDemandDriven(p *platform.Platform, tasks []dessim.Task, sc Scen
 		}
 	}
 	eng := dessim.NewEngine()
+	if opt.Sink != nil {
+		eng.SetSink(opt.Sink)
+	}
 	inj, err := NewInjector(eng, p.P(), sc)
 	if err != nil {
 		return nil, err
 	}
 	avail := inj.Availability()
+	tr := trace.New(p.P())
 	rep := &Report{
 		Timeline:       dessim.NewTimeline(p.P()),
+		Trace:          tr,
 		TasksPerWorker: make([]int, p.P()),
 	}
 
@@ -173,9 +187,11 @@ func RunResilientDemandDriven(p *platform.Platform, tasks []dessim.Task, sc Scen
 			copies[a.task]--
 			if done[a.task] {
 				// Lost the race to a speculative twin.
+				tr.Add(w, trace.Span{Kind: trace.Compute, Start: a.start, End: finish, Work: tasks[a.task].Work, Task: a.task, Outcome: trace.Wasted})
 				rep.WastedWork += tasks[a.task].Work
 				rep.ExtraComm += tasks[a.task].Data
 			} else {
+				tr.Add(w, trace.Span{Kind: trace.Compute, Start: a.start, End: finish, Work: tasks[a.task].Work, Task: a.task, Outcome: trace.OK})
 				done[a.task] = true
 				doneCount++
 				rep.TasksPerWorker[w]++
@@ -206,9 +222,12 @@ func RunResilientDemandDriven(p *platform.Platform, tasks []dessim.Task, sc Scen
 		a.handle = eng.Schedule(now+d, func() {
 			rep.Timeline.Add(w, dessim.Interval{Kind: dessim.Receive, Start: a.start, End: eng.Now(), Data: data, Task: a.task})
 			if !dropped {
+				tr.Add(w, trace.Span{Kind: trace.Comm, Start: a.start, End: eng.Now(), Data: data, Task: a.task, Outcome: trace.OK})
 				startCompute(a)
 				return
 			}
+			tr.Add(w, trace.Span{Kind: trace.Comm, Start: a.start, End: eng.Now(), Data: data, Task: a.task, Outcome: trace.Dropped})
+			tr.Mark(trace.Marker{Kind: trace.MarkDrop, Worker: w, Time: eng.Now(), Note: fmt.Sprintf("task %d", a.task)})
 			rep.DroppedTransfers++
 			rep.ExtraComm += data
 			a.attempts++
@@ -296,6 +315,11 @@ func RunResilientDemandDriven(p *platform.Platform, tasks []dessim.Task, sc Scen
 	}
 
 	inj.OnCrash(func(w int, permanent bool) {
+		note := "transient"
+		if permanent {
+			note = "permanent"
+		}
+		tr.Mark(trace.Marker{Kind: trace.MarkCrash, Worker: w, Time: eng.Now(), Note: note})
 		a := cur[w]
 		if a == nil {
 			return
@@ -310,10 +334,13 @@ func RunResilientDemandDriven(p *platform.Platform, tasks []dessim.Task, sc Scen
 		switch a.ph {
 		case phaseTransfer:
 			rep.Timeline.Add(w, dessim.Interval{Kind: dessim.Receive, Start: a.start, End: now, Data: tasks[a.task].Data, Task: a.task})
+			tr.Add(w, trace.Span{Kind: trace.Comm, Start: a.start, End: now, Data: tasks[a.task].Data, Task: a.task, Outcome: trace.Killed})
 			rep.ExtraComm += tasks[a.task].Data // shipment died with the worker
 		case phaseCompute:
 			rep.Timeline.Add(w, dessim.Interval{Kind: dessim.Compute, Start: a.start, End: now, Work: 0, Task: a.task})
-			rep.LostWork += avail.WorkBetween(p, w, a.start, now)
+			lost := avail.WorkBetween(p, w, a.start, now)
+			tr.Add(w, trace.Span{Kind: trace.Compute, Start: a.start, End: now, Work: lost, Task: a.task, Outcome: trace.Killed})
+			rep.LostWork += lost
 			rep.ExtraComm += tasks[a.task].Data // its data is gone too
 		}
 		if done[a.task] {
@@ -332,7 +359,10 @@ func RunResilientDemandDriven(p *platform.Platform, tasks []dessim.Task, sc Scen
 			}
 		})
 	})
-	inj.OnRecover(func(w int) { dispatch() })
+	inj.OnRecover(func(w int) {
+		tr.Mark(trace.Marker{Kind: trace.MarkRecover, Worker: w, Time: eng.Now()})
+		dispatch()
+	})
 
 	inj.Arm()
 	eng.At(0, dispatch)

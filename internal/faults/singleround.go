@@ -6,6 +6,7 @@ import (
 
 	"nlfl/internal/dessim"
 	"nlfl/internal/platform"
+	"nlfl/internal/trace"
 )
 
 // SingleRoundReport is the outcome of a static single-round schedule
@@ -17,6 +18,11 @@ import (
 // measurable.
 type SingleRoundReport struct {
 	Timeline *dessim.Timeline `json:"-"`
+	// Trace records every span with its outcome — including the transfers
+	// and partial computations a crash destroyed, which the plain Timeline
+	// omits. Chunks never shipped (a dead worker's schedule tail) have no
+	// spans; their work appears only in LostWork.
+	Trace *trace.Timeline `json:"-"`
 	// Completed reports whether every chunk finished.
 	Completed bool `json:"completed"`
 	// Makespan is the finish time of the surviving work only.
@@ -53,8 +59,10 @@ func RunSingleRoundUnderFaults(p *platform.Platform, chunks []dessim.Chunk, sc S
 	if err != nil {
 		return nil, err
 	}
+	tr := trace.New(p.P())
 	rep := &SingleRoundReport{
 		Timeline:      dessim.NewTimeline(p.P()),
+		Trace:         tr,
 		PerWorkerLost: make([]float64, p.P()),
 	}
 	// First crash instant per worker (+Inf when it never crashes).
@@ -65,6 +73,15 @@ func RunSingleRoundUnderFaults(p *platform.Platform, chunks []dessim.Chunk, sc S
 	for _, e := range sc.Events {
 		if (e.Kind == Crash || e.Kind == Transient) && e.Time < crashAt[e.Worker] {
 			crashAt[e.Worker] = e.Time
+		}
+		switch e.Kind {
+		case Crash:
+			tr.Mark(trace.Marker{Kind: trace.MarkCrash, Worker: e.Worker, Time: e.Time, Note: "permanent"})
+		case Transient:
+			// Recovery does not help a single-round schedule, but the marker
+			// makes the missed opportunity visible on the Gantt chart.
+			tr.Mark(trace.Marker{Kind: trace.MarkCrash, Worker: e.Worker, Time: e.Time, Note: "transient"})
+			tr.Mark(trace.Marker{Kind: trace.MarkRecover, Worker: e.Worker, Time: e.Until})
 		}
 	}
 
@@ -97,6 +114,8 @@ func RunSingleRoundUnderFaults(p *platform.Platform, chunks []dessim.Chunk, sc S
 		linkFree[w] = recvEnd
 		if inj.DropTransfer(w, recvStart) {
 			// The chunk's data never arrives; single-round has no retry.
+			tr.Add(w, trace.Span{Kind: trace.Comm, Start: recvStart, End: recvEnd, Data: ch.Data, Task: idx, Outcome: trace.Dropped})
+			tr.Mark(trace.Marker{Kind: trace.MarkDrop, Worker: w, Time: recvEnd, Note: fmt.Sprintf("task %d", idx)})
 			rep.LostWork += ch.Work
 			rep.PerWorkerLost[w] += ch.Work
 			rep.LostData += ch.Data
@@ -108,6 +127,19 @@ func RunSingleRoundUnderFaults(p *platform.Platform, chunks []dessim.Chunk, sc S
 		// complete strictly before the worker's first crash.
 		if recvEnd > crashAt[w] || compEnd > crashAt[w] || math.IsInf(compEnd, 1) {
 			deadHere[w] = true
+			if recvEnd > crashAt[w] {
+				// The crash cut the transfer itself short.
+				tr.Add(w, trace.Span{Kind: trace.Comm, Start: recvStart, End: math.Min(recvEnd, crashAt[w]), Data: ch.Data, Task: idx, Outcome: trace.Killed})
+			} else {
+				// Delivered in full, then the computation died. The whole
+				// chunk's work is forfeit — single-round cannot re-assign.
+				tr.Add(w, trace.Span{Kind: trace.Comm, Start: recvStart, End: recvEnd, Data: ch.Data, Task: idx, Outcome: trace.OK})
+				killEnd := math.Min(compEnd, crashAt[w])
+				if math.IsInf(killEnd, 1) {
+					killEnd = compStart // frozen forever: no CPU time elapsed
+				}
+				tr.Add(w, trace.Span{Kind: trace.Compute, Start: compStart, End: killEnd, Work: ch.Work, Task: idx, Outcome: trace.Killed})
+			}
 			rep.LostWork += ch.Work
 			rep.PerWorkerLost[w] += ch.Work
 			rep.LostData += ch.Data
@@ -116,6 +148,8 @@ func RunSingleRoundUnderFaults(p *platform.Platform, chunks []dessim.Chunk, sc S
 		cpuFree[w] = compEnd
 		rep.Timeline.Add(w, dessim.Interval{Kind: dessim.Receive, Start: recvStart, End: recvEnd, Data: ch.Data, Task: idx})
 		rep.Timeline.Add(w, dessim.Interval{Kind: dessim.Compute, Start: compStart, End: compEnd, Work: ch.Work, Task: idx})
+		tr.Add(w, trace.Span{Kind: trace.Comm, Start: recvStart, End: recvEnd, Data: ch.Data, Task: idx, Outcome: trace.OK})
+		tr.Add(w, trace.Span{Kind: trace.Compute, Start: compStart, End: compEnd, Work: ch.Work, Task: idx, Outcome: trace.OK})
 		rep.CompletedWork += ch.Work
 		if compEnd > rep.Makespan {
 			rep.Makespan = compEnd

@@ -7,6 +7,7 @@ import (
 
 	"nlfl/internal/dessim"
 	"nlfl/internal/platform"
+	"nlfl/internal/trace"
 )
 
 // TaskSpec is one schedulable chunk: Data units to ship, Work units to
@@ -34,6 +35,10 @@ type ScheduleResult struct {
 	WastedWork float64
 	// Imbalance is (t_max-t_min)/t_min over busy time per worker.
 	Imbalance float64
+	// Trace is the structured span record of the run: one comm and one
+	// compute span per launched copy, losing speculative copies marked
+	// Wasted.
+	Trace *trace.Timeline
 }
 
 // Schedule places tasks demand-driven (the Hadoop model the paper
@@ -59,6 +64,7 @@ func Schedule(p *platform.Platform, tasks []TaskSpec, speculate bool) (ScheduleR
 	for i := range res.Assignment {
 		res.Assignment[i] = -1
 	}
+	res.Trace = trace.New(p.P())
 	if len(tasks) == 0 {
 		return res, nil
 	}
@@ -68,6 +74,7 @@ func Schedule(p *platform.Platform, tasks []TaskSpec, speculate bool) (ScheduleR
 	type running struct {
 		task    int
 		worker  int
+		recvEnd float64
 		finish  float64
 		backup  bool
 		settled bool
@@ -85,10 +92,12 @@ func Schedule(p *platform.Platform, tasks []TaskSpec, speculate bool) (ScheduleR
 				// the job's makespan is the winners' last finish.)
 				r.settled = true
 				res.WastedWork += tasks[r.task].Work
+				res.Trace.Add(r.worker, trace.Span{Kind: trace.Compute, Start: r.recvEnd, End: r.finish, Work: tasks[r.task].Work, Task: r.task, Outcome: trace.Wasted})
 			}
 			return
 		}
 		r.settled = true
+		res.Trace.Add(r.worker, trace.Span{Kind: trace.Compute, Start: r.recvEnd, End: r.finish, Work: tasks[r.task].Work, Task: r.task, Outcome: trace.OK})
 		done[r.task] = true
 		res.Assignment[r.task] = r.worker
 		res.TasksPerWorker[r.worker]++
@@ -104,7 +113,8 @@ func Schedule(p *platform.Platform, tasks []TaskSpec, speculate bool) (ScheduleR
 		finish := recvEnd + w.LinearCompTime(tasks[task].Work)
 		res.DataPerWorker[worker] += tasks[task].Data
 		busy[worker] += finish - eng.Now()
-		r := &running{task: task, worker: worker, finish: finish, backup: backup}
+		res.Trace.Add(worker, trace.Span{Kind: trace.Comm, Start: eng.Now(), End: recvEnd, Data: tasks[task].Data, Task: task, Outcome: trace.OK})
+		r := &running{task: task, worker: worker, recvEnd: recvEnd, finish: finish, backup: backup}
 		active = append(active, r)
 		eng.At(finish, func() {
 			finishOne(r)

@@ -1,0 +1,34 @@
+package results
+
+// TraceMetrics is the aggregate summary the trace layer distills from one
+// run's timeline — the numbers attached to experiment records so a saved
+// result carries its own utilization and waste accounting.
+type TraceMetrics struct {
+	// Makespan is the last span's end time.
+	Makespan float64 `json:"makespan"`
+	// CommVolume is the total data shipped (waste included).
+	CommVolume float64 `json:"commVolume"`
+	// UsefulWork, WastedWork and LostWork split the computed work units
+	// into winning copies, losing speculative copies, and crash-destroyed
+	// partials.
+	UsefulWork float64 `json:"usefulWork"`
+	WastedWork float64 `json:"wastedWork"`
+	LostWork   float64 `json:"lostWork"`
+	// ComputeTime, CommTime and IdleTime decompose the p·makespan
+	// worker-time area. Idle is measured against the union of each
+	// worker's spans, so pipelined comm/compute overlap is not
+	// double-counted.
+	ComputeTime float64 `json:"computeTime"`
+	CommTime    float64 `json:"commTime"`
+	IdleTime    float64 `json:"idleTime"`
+	// Utilization is compute time / (p·makespan).
+	Utilization float64 `json:"utilization"`
+	// WastedWorkFraction is (wasted+lost) / (useful+wasted+lost), 0 for an
+	// empty run.
+	WastedWorkFraction float64 `json:"wastedWorkFraction"`
+	// Imbalance is (t_max-t_min)/t_min over per-worker compute times.
+	Imbalance float64 `json:"imbalance"`
+	// Spans and Faults count the recorded spans and fault markers.
+	Spans  int `json:"spans"`
+	Faults int `json:"faults"`
+}

@@ -6,6 +6,7 @@ import (
 
 	"nlfl/internal/dessim"
 	"nlfl/internal/platform"
+	"nlfl/internal/trace"
 )
 
 // Section 3 closes by noting that because sorting reduces to a divisible
@@ -36,6 +37,10 @@ type DistributedCost struct {
 	Sequential float64
 	// BucketSizes echoes the routed bucket sizes.
 	BucketSizes []int
+	// Trace is the worker-side span record (bucket shipments and sorts),
+	// shifted by the master-side Steps 1–2 so span times are on the job's
+	// clock.
+	Trace *trace.Timeline `json:"-"`
 }
 
 // Speedup returns Sequential/Makespan.
@@ -115,6 +120,9 @@ func SimulateDistributed(pl *platform.Platform, n int, cfg Config, mode dessim.C
 	}
 	out.CommMakespan = offset + commEnd
 	out.Makespan = offset + tl.Makespan
+	tr := trace.FromDessim(tl)
+	tr.Shift(offset)
+	out.Trace = tr
 	out.Sequential = float64(n) * math.Log2(float64(n)) / pl.MaxSpeed()
 	return out, nil
 }

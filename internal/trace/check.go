@@ -1,0 +1,318 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ViolationKind classifies what Check found wrong.
+type ViolationKind int
+
+// Violation kinds.
+const (
+	// BadSpan is a malformed span: NaN/Inf bounds, negative duration,
+	// negative start, or negative data/work, or a span ending past the
+	// recorded makespan.
+	BadSpan ViolationKind = iota
+	// OverlapCompute is two compute spans sharing CPU time on one worker —
+	// the booking bug a broken executor exhibits first.
+	OverlapCompute
+	// OverlapComm is two transfers sharing one worker's link.
+	OverlapComm
+	// NonMonotone is a worker's span sequence going backwards in time
+	// (per kind), or a marker at an invalid time.
+	NonMonotone
+	// WorkConservation is a broken work ledger: processed + unprocessed ≠
+	// total, or the traced compute spans disagreeing with the executor's
+	// reported totals.
+	WorkConservation
+	// CommVolume is a measured communication volume disagreeing with the
+	// executor's shipping ledger or with an analytic bound
+	// (Comm_hom/Comm_het/survivor bound).
+	CommVolume
+	// ImbalanceExceeded is a compute-time imbalance above the target
+	// (Section 4.3's ≤1% rule for Comm_hom/k).
+	ImbalanceExceeded
+)
+
+// String implements fmt.Stringer.
+func (k ViolationKind) String() string {
+	switch k {
+	case BadSpan:
+		return "bad-span"
+	case OverlapCompute:
+		return "overlap-compute"
+	case OverlapComm:
+		return "overlap-comm"
+	case NonMonotone:
+		return "non-monotone"
+	case WorkConservation:
+		return "work-conservation"
+	case CommVolume:
+		return "comm-volume"
+	case ImbalanceExceeded:
+		return "imbalance"
+	default:
+		return fmt.Sprintf("violation(%d)", int(k))
+	}
+}
+
+// Violation is one broken invariant.
+type Violation struct {
+	Kind ViolationKind
+	// Worker is the offending worker (-1 for run-global violations).
+	Worker int
+	// Task is the offending task (-1 when not applicable).
+	Task int
+	// Detail is the human-readable specifics.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	loc := ""
+	if v.Worker >= 0 {
+		loc = fmt.Sprintf(" worker %d", v.Worker)
+	}
+	if v.Task >= 0 {
+		loc += fmt.Sprintf(" task %d", v.Task)
+	}
+	return fmt.Sprintf("%s:%s %s", v.Kind, loc, v.Detail)
+}
+
+// BoundKind selects how Expect.Bound constrains the measured volume.
+type BoundKind int
+
+// Bound kinds.
+const (
+	// BoundNone skips the analytic-bound check.
+	BoundNone BoundKind = iota
+	// BoundExact requires measured == Bound within Tol (relative) — the
+	// Comm_hom closed form on homogeneous platforms.
+	BoundExact
+	// BoundUpper requires measured ≤ Bound·(1+Tol).
+	BoundUpper
+	// BoundLower requires measured ≥ Bound·(1−Tol) — e.g. the survivor
+	// bound 2N·√(Σsᵢ/s₁) that any realizable re-plan must pay at least.
+	BoundLower
+)
+
+// Expect carries the executor-reported ledger and analytic bounds Check
+// verifies the timeline against. The zero value checks structure only.
+type Expect struct {
+	// HasWork enables the work-conservation checks below.
+	HasWork bool
+	// TotalWork is the N-equivalents submitted to the run.
+	TotalWork float64
+	// ProcessedWork is the work completed, each pool unit counted once
+	// (winning copies only).
+	ProcessedWork float64
+	// UnprocessedWork is the pool work that never completed (a static
+	// schedule's forfeited allocation; 0 for a resilient run that
+	// finished). Conservation: Processed + Unprocessed = Total.
+	UnprocessedWork float64
+	// LostWork is the work destroyed mid-run by crashes (overhead beyond
+	// TotalWork for executors that re-execute). Traced Killed spans may
+	// undercount it (work lost before any span was cut) but never exceed
+	// it.
+	LostWork float64
+	// WastedWork is the work burned by losing speculative copies.
+	WastedWork float64
+
+	// HasComm enables the shipping-ledger check: the timeline's total
+	// comm volume must equal ShippedData within Tol.
+	HasComm bool
+	// ShippedData is the executor-reported total data shipped, waste
+	// included.
+	ShippedData float64
+
+	// Bound is the analytic communication-volume reference (Comm_hom,
+	// Comm_het, survivor bound); BoundKind selects the comparison and
+	// BoundName labels the violation.
+	Bound     float64
+	BoundKind BoundKind
+	BoundName string
+
+	// ImbalanceTarget, when positive, caps the compute-time imbalance
+	// (the paper's Comm_hom/k rule uses 0.01).
+	ImbalanceTarget float64
+
+	// Tol is the relative tolerance for every numeric comparison
+	// (default 1e-9).
+	Tol float64
+}
+
+// tolerance returns the effective relative tolerance.
+func (e *Expect) tolerance() float64 {
+	if e == nil || e.Tol <= 0 {
+		return 1e-9
+	}
+	return e.Tol
+}
+
+// approxEqual reports a ≈ b within relative tolerance tol.
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*(math.Abs(a)+math.Abs(b)+1)
+}
+
+// overlapSlack is the absolute slack allowed between consecutive spans —
+// floating-point booking arithmetic legitimately produces sub-1e-9
+// overlaps.
+const overlapSlack = 1e-9
+
+// Check verifies the timeline's invariants and returns every violation
+// found (nil when the trace is clean):
+//
+//   - structure: finite non-negative span bounds, End ≥ Start, no span
+//     past the makespan, finite marker times;
+//   - exclusivity: per worker, compute spans do not overlap (one CPU) and
+//     comm spans do not overlap (one incoming link); a Comm span MAY
+//     overlap a Compute span — that is multi-round pipelining, not a bug;
+//   - monotone sim-time: per worker and kind, spans are recorded in
+//     non-decreasing start order;
+//   - with exp: work conservation (processed + unprocessed = total, traced
+//     spans matching the reported ledger), the shipping ledger, the
+//     analytic volume bound, and the imbalance target.
+func Check(tl *Timeline, exp *Expect) []Violation {
+	var vs []Violation
+	tol := exp.tolerance()
+
+	for w, spans := range tl.Spans {
+		prevStart := map[SpanKind]float64{}
+		prevEnd := map[SpanKind]float64{}
+		for i, s := range spans {
+			if bad := badSpan(s); bad != "" {
+				vs = append(vs, Violation{Kind: BadSpan, Worker: w, Task: s.Task, Detail: fmt.Sprintf("span %d %s", i, bad)})
+				continue
+			}
+			if s.End > tl.Makespan+overlapSlack {
+				vs = append(vs, Violation{Kind: BadSpan, Worker: w, Task: s.Task,
+					Detail: fmt.Sprintf("span %d ends at %v past makespan %v", i, s.End, tl.Makespan)})
+			}
+			if ps, seen := prevStart[s.Kind]; seen {
+				if s.Start < ps-overlapSlack {
+					vs = append(vs, Violation{Kind: NonMonotone, Worker: w, Task: s.Task,
+						Detail: fmt.Sprintf("%s span %d starts at %v before previous start %v", s.Kind, i, s.Start, ps)})
+				} else if s.Start < prevEnd[s.Kind]-overlapSlack {
+					kind := OverlapCompute
+					if s.Kind == Comm {
+						kind = OverlapComm
+					}
+					vs = append(vs, Violation{Kind: kind, Worker: w, Task: s.Task,
+						Detail: fmt.Sprintf("%s span %d starts at %v inside previous span ending %v", s.Kind, i, s.Start, prevEnd[s.Kind])})
+				}
+			}
+			prevStart[s.Kind] = s.Start
+			if e := prevEnd[s.Kind]; s.End > e {
+				prevEnd[s.Kind] = s.End
+			}
+		}
+	}
+	for i, m := range tl.Marks {
+		if math.IsNaN(m.Time) || math.IsInf(m.Time, 0) || m.Time < 0 {
+			vs = append(vs, Violation{Kind: NonMonotone, Worker: m.Worker, Task: -1,
+				Detail: fmt.Sprintf("marker %d (%s) at invalid time %v", i, m.Kind, m.Time)})
+		}
+	}
+
+	if exp == nil {
+		return vs
+	}
+
+	if exp.HasWork {
+		if got := exp.ProcessedWork + exp.UnprocessedWork; !approxEqual(got, exp.TotalWork, tol) {
+			vs = append(vs, Violation{Kind: WorkConservation, Worker: -1, Task: -1,
+				Detail: fmt.Sprintf("processed %v + unprocessed %v = %v ≠ total %v", exp.ProcessedWork, exp.UnprocessedWork, got, exp.TotalWork)})
+		}
+		if got := tl.UsefulWork(); !approxEqual(got, exp.ProcessedWork, tol) {
+			vs = append(vs, Violation{Kind: WorkConservation, Worker: -1, Task: -1,
+				Detail: fmt.Sprintf("traced useful work %v ≠ reported processed %v", got, exp.ProcessedWork)})
+		}
+		if got := tl.WastedWork(); !approxEqual(got, exp.WastedWork, tol) {
+			vs = append(vs, Violation{Kind: WorkConservation, Worker: -1, Task: -1,
+				Detail: fmt.Sprintf("traced wasted work %v ≠ reported %v", got, exp.WastedWork)})
+		}
+		if got := tl.LostWork(); got > exp.LostWork*(1+tol)+tol {
+			vs = append(vs, Violation{Kind: WorkConservation, Worker: -1, Task: -1,
+				Detail: fmt.Sprintf("traced killed work %v exceeds reported lost %v", got, exp.LostWork)})
+		}
+	}
+
+	measured := tl.CommVolume()
+	if exp.HasComm && !approxEqual(measured, exp.ShippedData, tol) {
+		vs = append(vs, Violation{Kind: CommVolume, Worker: -1, Task: -1,
+			Detail: fmt.Sprintf("traced comm volume %v ≠ reported shipped %v", measured, exp.ShippedData)})
+	}
+	switch exp.BoundKind {
+	case BoundExact:
+		if !approxEqual(measured, exp.Bound, tol) {
+			vs = append(vs, Violation{Kind: CommVolume, Worker: -1, Task: -1,
+				Detail: fmt.Sprintf("traced comm volume %v ≠ %s = %v", measured, exp.boundName(), exp.Bound)})
+		}
+	case BoundUpper:
+		if measured > exp.Bound*(1+tol) {
+			vs = append(vs, Violation{Kind: CommVolume, Worker: -1, Task: -1,
+				Detail: fmt.Sprintf("traced comm volume %v exceeds %s = %v", measured, exp.boundName(), exp.Bound)})
+		}
+	case BoundLower:
+		if measured < exp.Bound*(1-tol) {
+			vs = append(vs, Violation{Kind: CommVolume, Worker: -1, Task: -1,
+				Detail: fmt.Sprintf("traced comm volume %v below %s = %v", measured, exp.boundName(), exp.Bound)})
+		}
+	}
+
+	if exp.ImbalanceTarget > 0 {
+		if e := tl.Imbalance(); e > exp.ImbalanceTarget*(1+tol) {
+			vs = append(vs, Violation{Kind: ImbalanceExceeded, Worker: -1, Task: -1,
+				Detail: fmt.Sprintf("compute imbalance %v above target %v", e, exp.ImbalanceTarget)})
+		}
+	}
+	return vs
+}
+
+func (e *Expect) boundName() string {
+	if e.BoundName == "" {
+		return "bound"
+	}
+	return e.BoundName
+}
+
+// badSpan returns a description of what is malformed about the span, or
+// "" for a well-formed one.
+func badSpan(s Span) string {
+	for _, f := range []struct {
+		name  string
+		value float64
+	}{{"start", s.Start}, {"end", s.End}, {"data", s.Data}, {"work", s.Work}} {
+		if math.IsNaN(f.value) || math.IsInf(f.value, 0) {
+			return fmt.Sprintf("has non-finite %s %v", f.name, f.value)
+		}
+	}
+	if s.Start < 0 {
+		return fmt.Sprintf("starts at negative time %v", s.Start)
+	}
+	if s.End < s.Start {
+		return fmt.Sprintf("has negative duration [%v,%v]", s.Start, s.End)
+	}
+	if s.Data < 0 || s.Work < 0 {
+		return fmt.Sprintf("has negative volume (data %v, work %v)", s.Data, s.Work)
+	}
+	return ""
+}
+
+// Must converts a violation list into a single error (nil when clean) —
+// for executors and experiments that want the oracle on their hot path.
+func Must(vs []Violation) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	lines := make([]string, len(vs))
+	for i, v := range vs {
+		lines[i] = v.String()
+	}
+	return fmt.Errorf("trace: %d invariant violation(s):\n  %s", len(vs), strings.Join(lines, "\n  "))
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"sort"
+
+	"nlfl/internal/results"
+)
+
+// MetricsOf distills the timeline into the aggregate summary exported on
+// experiment records.
+func MetricsOf(tl *Timeline) results.TraceMetrics {
+	m := results.TraceMetrics{
+		Makespan:   tl.Makespan,
+		CommVolume: tl.CommVolume(),
+		UsefulWork: tl.UsefulWork(),
+		WastedWork: tl.WastedWork(),
+		LostWork:   tl.LostWork(),
+		Imbalance:  tl.Imbalance(),
+		Faults:     len(tl.Marks),
+	}
+	busyUnion := 0.0
+	for _, spans := range tl.Spans {
+		m.Spans += len(spans)
+		for _, s := range spans {
+			switch s.Kind {
+			case Compute:
+				m.ComputeTime += s.Duration()
+			case Comm:
+				m.CommTime += s.Duration()
+			}
+		}
+		busyUnion += unionDuration(spans)
+	}
+	if tl.Makespan > 0 && len(tl.Spans) > 0 {
+		m.IdleTime = tl.Makespan*float64(len(tl.Spans)) - busyUnion
+		m.Utilization = m.ComputeTime / (tl.Makespan * float64(len(tl.Spans)))
+	}
+	if tot := m.UsefulWork + m.WastedWork + m.LostWork; tot > 0 {
+		m.WastedWorkFraction = (m.WastedWork + m.LostWork) / tot
+	}
+	return m
+}
+
+// unionDuration returns the measure of the union of the spans' intervals
+// — a worker receiving while computing is busy once, not twice.
+func unionDuration(spans []Span) float64 {
+	if len(spans) == 0 {
+		return 0
+	}
+	ivs := make([][2]float64, 0, len(spans))
+	for _, s := range spans {
+		if s.End > s.Start {
+			ivs = append(ivs, [2]float64{s.Start, s.End})
+		}
+	}
+	if len(ivs) == 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+	total, curLo, curHi := 0.0, ivs[0][0], ivs[0][1]
+	for _, iv := range ivs[1:] {
+		if iv[0] > curHi {
+			total += curHi - curLo
+			curLo, curHi = iv[0], iv[1]
+			continue
+		}
+		if iv[1] > curHi {
+			curHi = iv[1]
+		}
+	}
+	return total + (curHi - curLo)
+}

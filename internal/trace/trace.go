@@ -1,0 +1,297 @@
+// Package trace is the observability layer of the simulators: a
+// structured, per-run record of what every worker did — compute and
+// communication spans with byte/work volumes and outcomes, plus fault
+// markers — together with an invariant checker (Check) that turns the
+// record into a mechanical test oracle.
+//
+// Every executor in the repository produces a *Timeline: the demand-driven
+// and static star executors of internal/dessim (via FromDessim), the
+// MapReduce scheduler (internal/mapreduce), the resilient and single-round
+// fault executors (internal/faults), linear DLT (internal/dlt), and the
+// distributed sample sort (internal/samplesort). The paper's conservation
+// laws — total work processed, the Comm_hom = 2N·√(Σsᵢ/s₁) volume bound,
+// the ≤1% imbalance rule for Comm_hom/k — become Check expectations; any
+// scheduler whose trace violates them is broken, in the spirit of the
+// verification methodology of Gallet–Robert–Vivien's "Comments on ..."
+// papers, which caught published schedules violating their own
+// constraints.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"nlfl/internal/dessim"
+)
+
+// SpanKind distinguishes what a worker was doing during a span.
+type SpanKind int
+
+// Span kinds.
+const (
+	// Comm is a master→worker transfer occupying the worker's link.
+	Comm SpanKind = iota
+	// Compute is chunk processing occupying the worker's CPU.
+	Compute
+)
+
+// String implements fmt.Stringer.
+func (k SpanKind) String() string {
+	switch k {
+	case Comm:
+		return "comm"
+	case Compute:
+		return "compute"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Outcome records how a span ended.
+type Outcome int
+
+// Span outcomes.
+const (
+	// OK is a span that completed and counted.
+	OK Outcome = iota
+	// Dropped is a transfer that occupied the link but whose payload was
+	// lost (flaky-link fault, no retry credit).
+	Dropped
+	// Killed is a span cut short by a worker crash; for Compute spans,
+	// Work holds the work units destroyed.
+	Killed
+	// Wasted is a span that completed but lost a speculative race — work
+	// or shipping burned without advancing the job.
+	Wasted
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Dropped:
+		return "dropped"
+	case Killed:
+		return "killed"
+	case Wasted:
+		return "wasted"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Span is one booked activity on a worker.
+type Span struct {
+	Kind       SpanKind
+	Start, End float64
+	// Data is the transfer volume in data units (Comm spans).
+	Data float64
+	// Work is the work units the span accounts for: completed work for OK
+	// and Wasted Compute spans, destroyed work for Killed ones.
+	Work float64
+	// Task identifies the chunk/task (-1 when not applicable).
+	Task int
+	// Outcome records how the span ended.
+	Outcome Outcome
+}
+
+// Duration returns End - Start.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// MarkerKind enumerates the point events a timeline can carry.
+type MarkerKind int
+
+// Marker kinds.
+const (
+	// MarkCrash is a worker going down (permanent or transient).
+	MarkCrash MarkerKind = iota
+	// MarkRecover is a transient worker coming back.
+	MarkRecover
+	// MarkDrop is a transfer payload lost on arrival.
+	MarkDrop
+)
+
+// String implements fmt.Stringer.
+func (k MarkerKind) String() string {
+	switch k {
+	case MarkCrash:
+		return "crash"
+	case MarkRecover:
+		return "recover"
+	case MarkDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("marker(%d)", int(k))
+	}
+}
+
+// Marker is one point event (fault injection, recovery, payload loss).
+type Marker struct {
+	Kind   MarkerKind
+	Worker int
+	Time   float64
+	// Note carries free-form detail ("permanent", "task 3"...).
+	Note string
+}
+
+// Timeline is the full structured record of one simulation run.
+type Timeline struct {
+	// Spans[w] lists worker w's spans in recording order (per kind this is
+	// also time order for any well-formed executor — Check enforces it).
+	Spans [][]Span
+	// Marks lists the run's point events in emission order.
+	Marks []Marker
+	// Makespan tracks the latest span end seen by Add.
+	Makespan float64
+}
+
+// New creates an empty timeline for p workers.
+func New(p int) *Timeline {
+	if p < 0 {
+		p = 0
+	}
+	return &Timeline{Spans: make([][]Span, p)}
+}
+
+// Workers returns the number of worker rows.
+func (tl *Timeline) Workers() int { return len(tl.Spans) }
+
+// Add records a span for worker w and updates the makespan. Out-of-range
+// workers panic, like a slice index.
+func (tl *Timeline) Add(w int, s Span) {
+	tl.Spans[w] = append(tl.Spans[w], s)
+	if s.End > tl.Makespan {
+		tl.Makespan = s.End
+	}
+}
+
+// Mark records a point event.
+func (tl *Timeline) Mark(m Marker) { tl.Marks = append(tl.Marks, m) }
+
+// Shift translates every span and marker by dt — used to place a star
+// sub-simulation after master-side preprocessing phases (sample sort's
+// Steps 1–2).
+func (tl *Timeline) Shift(dt float64) {
+	for w := range tl.Spans {
+		for i := range tl.Spans[w] {
+			tl.Spans[w][i].Start += dt
+			tl.Spans[w][i].End += dt
+		}
+	}
+	for i := range tl.Marks {
+		tl.Marks[i].Time += dt
+	}
+	tl.Makespan += dt
+}
+
+// CommVolume returns the total data units that crossed the network,
+// including dropped, killed and wasted shipments — the master paid for
+// all of them.
+func (tl *Timeline) CommVolume() float64 {
+	v := 0.0
+	for _, spans := range tl.Spans {
+		for _, s := range spans {
+			if s.Kind == Comm {
+				v += s.Data
+			}
+		}
+	}
+	return v
+}
+
+// UsefulWork returns the work units completed by winning (OK) compute
+// spans — each pool unit counted once in a correct executor.
+func (tl *Timeline) UsefulWork() float64 { return tl.workWith(Compute, OK) }
+
+// WastedWork returns the work burned by losing speculative copies.
+func (tl *Timeline) WastedWork() float64 { return tl.workWith(Compute, Wasted) }
+
+// LostWork returns the work destroyed by crashes (Killed compute spans).
+func (tl *Timeline) LostWork() float64 { return tl.workWith(Compute, Killed) }
+
+func (tl *Timeline) workWith(k SpanKind, o Outcome) float64 {
+	v := 0.0
+	for _, spans := range tl.Spans {
+		for _, s := range spans {
+			if s.Kind == k && s.Outcome == o {
+				v += s.Work
+			}
+		}
+	}
+	return v
+}
+
+// ComputeTimes returns each worker's total compute duration (all
+// outcomes — the CPU was busy either way).
+func (tl *Timeline) ComputeTimes() []float64 {
+	out := make([]float64, len(tl.Spans))
+	for w, spans := range tl.Spans {
+		for _, s := range spans {
+			if s.Kind == Compute {
+				out[w] += s.Duration()
+			}
+		}
+	}
+	return out
+}
+
+// Imbalance returns e = (t_max - t_min)/t_min over per-worker compute
+// times — the Section 4.3 metric behind the Comm_hom/k ≤1% rule. A worker
+// with zero compute time while another computed makes it +Inf; a run with
+// no compute at all returns 0.
+func (tl *Timeline) Imbalance() float64 {
+	tmin, tmax := math.Inf(1), 0.0
+	for _, t := range tl.ComputeTimes() {
+		if t < tmin {
+			tmin = t
+		}
+		if t > tmax {
+			tmax = t
+		}
+	}
+	if tmax == 0 {
+		return 0
+	}
+	if tmin == 0 {
+		return math.Inf(1)
+	}
+	return (tmax - tmin) / tmin
+}
+
+// Utilization returns the fraction of worker-time spent computing between
+// 0 and the makespan (0 for an empty run).
+func (tl *Timeline) Utilization() float64 {
+	if tl.Makespan <= 0 || len(tl.Spans) == 0 {
+		return 0
+	}
+	busy := 0.0
+	for _, t := range tl.ComputeTimes() {
+		busy += t
+	}
+	return busy / (tl.Makespan * float64(len(tl.Spans)))
+}
+
+// FromDessim converts a dessim.Timeline — the record the star executors
+// already produce — into a trace Timeline. Every interval becomes an OK
+// span (the dessim executors model no faults).
+func FromDessim(d *dessim.Timeline) *Timeline {
+	tl := New(len(d.PerWorker))
+	for w, ivs := range d.PerWorker {
+		for _, iv := range ivs {
+			kind := Comm
+			if iv.Kind == dessim.Compute {
+				kind = Compute
+			}
+			tl.Add(w, Span{
+				Kind:  kind,
+				Start: iv.Start,
+				End:   iv.End,
+				Data:  iv.Data,
+				Work:  iv.Work,
+				Task:  iv.Task,
+			})
+		}
+	}
+	return tl
+}
