@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+
+	"nlfl/internal/bench"
+	"nlfl/internal/results"
+)
+
+// runBench drives the measured-performance harness: tiled kernels and the
+// demand-driven worker-pool runtime across platforms and strategies, every
+// measured volume cross-checked against the paper's closed forms and every
+// runtime trace audited by the invariant oracle, emitting BENCH_kernels.json
+// and BENCH_runtime.json (see docs/PERFORMANCE.md).
+func runBench(args []string) error {
+	fs := newFlagSet("bench")
+	seed := fs.Int64("seed", 42, "random seed (identical seeds reproduce identical geometry and volumes)")
+	out := fs.String("out", ".", "directory for BENCH_kernels.json and BENCH_runtime.json")
+	quick := fs.Bool("quick", false, "reduced CI configuration: smaller sizes, fewer platforms")
+	rate := fs.Float64("rate", 0, "token-bucket rate scale in cells/second for a speed-1 worker (0 = default 2e6)")
+	validate := fs.Bool("validate", false, "validate existing BENCH_*.json in -out instead of running")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *validate {
+		if err := bench.ValidateFiles(*out); err != nil {
+			return err
+		}
+		fmt.Println("BENCH_kernels.json, BENCH_runtime.json: schema ok, volumes within tolerance, zero violations")
+		return nil
+	}
+
+	cfg := bench.Config{Seed: *seed, Quick: *quick, WorkPerSecond: *rate}
+	kernelsPath, runtimePath, err := bench.Run(cfg, *out)
+	if err != nil {
+		return err
+	}
+
+	kf, err := results.LoadBenchKernels(kernelsPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kernels (autotuned tile %d, GOMAXPROCS %d):\n", kf.AutotunedTile, kf.GOMAXPROCS)
+	fmt.Printf("  %-16s %6s %5s %4s %12s %10s\n", "kernel", "n", "tile", "wkrs", "seconds", "GFLOPS")
+	for _, e := range kf.Entries {
+		fmt.Printf("  %-16s %6d %5d %4d %12.6f %10.3f\n", e.Kernel, e.N, e.Tile, e.Workers, e.Seconds, e.GFLOPS)
+	}
+
+	rf, err := results.LoadBenchRuntime(runtimePath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nruntime (rate %.3g cells/s per unit speed):\n", rf.WorkPerSecond)
+	fmt.Printf("  %-12s %-6s %6s %5s %7s %12s %12s %8s %10s\n",
+		"platform", "strat", "n", "grid", "chunks", "measured", "predicted", "relerr", "cells/s")
+	for _, e := range rf.Entries {
+		fmt.Printf("  %-12s %-6s %6d %5d %7d %12.1f %12.1f %8.5f %10.4g\n",
+			e.Platform, e.Strategy, e.N, e.Grid, e.Chunks, e.MeasuredVolume, e.PredictedVolume, e.RelError, e.CellsPerSec)
+	}
+	fmt.Printf("\nwrote %s and %s (all volumes within tolerance, zero trace violations)\n", kernelsPath, runtimePath)
+	return nil
+}

@@ -18,6 +18,7 @@
 //	mapreduce  Sections 1.1/4: MapReduce distribution comparison + demo job
 //	faults     Section 1.1: robustness under crashes, stragglers, flaky links
 //	trace      Trace one executor run, audit invariants, render Gantt/Chrome JSON
+//	bench      Measured performance: kernels + runtime, emits BENCH_*.json
 //	analyze    The core divisibility verdict for a workload
 //	demo       Run every experiment with small settings (smoke test)
 package main
@@ -56,6 +57,7 @@ func commands() []command {
 		{"affinity", "the conclusion's affinity-aware demand-driven scheduler", runAffinity},
 		{"faults", "robustness under crashes, stragglers and flaky links", runFaults},
 		{"trace", "run one executor, audit its trace, render Gantt/Chrome JSON", runTrace},
+		{"bench", "measure kernels + worker-pool runtime, emit BENCH_*.json", runBench},
 		{"analyze", "divisibility verdict for a workload", runAnalyze},
 		{"compare", "diff two saved JSON result records", runCompare},
 		{"all", "run every experiment with paper settings and save JSON records", runAll},

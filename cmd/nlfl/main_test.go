@@ -105,6 +105,38 @@ func TestCLISubcommands(t *testing.T) {
 	}
 }
 
+// TestCLIBench runs the measured-performance harness end to end in its
+// reduced configuration, round-trips the emitted artifacts through the
+// -validate mode, and checks that broken flags fail.
+func TestCLIBench(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, func() error {
+		return run([]string{"bench", "-quick", "-seed", "42", "-out", dir})
+	})
+	if err != nil {
+		t.Fatalf("bench run: %v", err)
+	}
+	for _, want := range []string{"kernels (autotuned tile", "runtime (rate", "hom/k", "het", "wrote"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bench output missing %q:\n%s", want, truncate(out, 800))
+		}
+	}
+	out, err = capture(t, func() error {
+		return run([]string{"bench", "-validate", "-out", dir})
+	})
+	if err != nil {
+		t.Fatalf("bench -validate on freshly emitted artifacts: %v", err)
+	}
+	if !strings.Contains(out, "schema ok") {
+		t.Errorf("validate output missing confirmation:\n%s", truncate(out, 800))
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"bench", "-validate", "-out", t.TempDir()})
+	}); err == nil {
+		t.Error("bench -validate on an empty directory should fail")
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	cases := [][]string{
 		{"nope"},

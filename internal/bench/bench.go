@@ -1,0 +1,48 @@
+// Package bench is the reproducible measured-performance harness: it
+// times the dense kernels (internal/matmul) and the worker-pool runtime
+// (internal/runtime) across problem sizes, worker counts and distribution
+// strategies, cross-checks every measured communication volume against
+// the paper's closed forms (Comm_hom = 2N·√(Σsᵢ/s₁) and friends), audits
+// every runtime trace with the invariant oracle, and emits the
+// machine-readable BENCH_kernels.json / BENCH_runtime.json records that
+// seed the repository's performance trajectory.
+//
+// Geometry — grids, chunk counts, per-strategy communication volumes — is
+// deterministic given the seed; wall-clock timings are not, which is why
+// the volume cross-checks gate on the deterministic ledger and the
+// timings are recorded as environment-stamped observations. See
+// docs/PERFORMANCE.md for how to read the output and EXPERIMENTS.md for
+// the regeneration recipe.
+package bench
+
+import (
+	"path/filepath"
+	"runtime"
+)
+
+// KernelsFileName and RuntimeFileName are the emitted artifact names.
+const (
+	KernelsFileName = "BENCH_kernels.json"
+	RuntimeFileName = "BENCH_runtime.json"
+)
+
+// Config selects the measurement envelope.
+type Config struct {
+	// Seed drives every random input (matrices, vectors). Identical seeds
+	// reproduce identical geometry and volumes.
+	Seed int64
+	// Quick selects the reduced CI configuration: smaller sizes, fewer
+	// repetitions, two platforms instead of four.
+	Quick bool
+	// WorkPerSecond overrides the runtime token-bucket rate scale
+	// (cells/second for a speed-1 worker); 0 selects 2e6.
+	WorkPerSecond float64
+}
+
+// maxProcs reports the measurement environment's parallelism.
+func maxProcs() int { return runtime.GOMAXPROCS(0) }
+
+// Paths returns the artifact paths under dir.
+func Paths(dir string) (kernels, runtimePath string) {
+	return filepath.Join(dir, KernelsFileName), filepath.Join(dir, RuntimeFileName)
+}

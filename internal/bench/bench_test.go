@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"errors"
+	"testing"
+
+	"nlfl/internal/results"
+)
+
+func TestRunQuickEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Seed: 42, Quick: true}
+	kernelsPath, runtimePath, err := Run(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateFiles(dir); err != nil {
+		t.Fatalf("emitted artifacts fail their own schema gate: %v", err)
+	}
+	kf, err := results.LoadBenchKernels(kernelsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kf.Seed != 42 || !kf.Quick {
+		t.Errorf("kernel file misstamped: seed %d quick %v", kf.Seed, kf.Quick)
+	}
+	rf, err := results.LoadBenchRuntime(runtimePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick config: 2 platforms × 3 strategies.
+	if len(rf.Entries) != 6 {
+		t.Fatalf("runtime file has %d entries, want 6", len(rf.Entries))
+	}
+	for _, e := range rf.Entries {
+		if e.Violations != 0 {
+			t.Errorf("%s/%s: %d invariant violations in a passing run", e.Platform, e.Strategy, e.Violations)
+		}
+	}
+}
+
+// TestRuntimeVolumesDeterministic regenerates the runtime sweep and checks
+// that the deterministic half of the record — geometry and communication
+// volumes — is identical across runs, while timings are free to differ.
+func TestRuntimeVolumesDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Quick: true}
+	f1, err := RunRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := RunRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.Entries) != len(f2.Entries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(f1.Entries), len(f2.Entries))
+	}
+	for i := range f1.Entries {
+		a, b := f1.Entries[i], f2.Entries[i]
+		if a.MeasuredVolume != b.MeasuredVolume || a.PredictedVolume != b.PredictedVolume ||
+			a.Grid != b.Grid || a.K != b.K || a.Chunks != b.Chunks {
+			t.Errorf("entry %d (%s/%s) not deterministic: %+v vs %+v", i, a.Platform, a.Strategy, a, b)
+		}
+	}
+}
+
+func TestValidateRejectsBrokenFiles(t *testing.T) {
+	kf := results.KernelBenchFile{Schema: "wrong"}
+	if err := ValidateKernels(kf); !errors.Is(err, ErrInvalidBench) {
+		t.Errorf("wrong schema accepted: %v", err)
+	}
+	kf.Schema = results.BenchKernelsSchema
+	if err := ValidateKernels(kf); !errors.Is(err, ErrInvalidBench) {
+		t.Errorf("empty entry list accepted: %v", err)
+	}
+
+	good := results.RuntimeBenchEntry{
+		Platform: "p", Strategy: "hom", N: 8, Workers: 1, Chunks: 1,
+		Speeds:         []float64{1},
+		MeasuredVolume: 16, PredictedVolume: 16, RelError: 0,
+		BytesMoved: 128, Makespan: 0.1, CellsPerSec: 640, Utilization: 0.5,
+	}
+	base := results.RuntimeBenchFile{
+		Schema: results.BenchRuntimeSchema, WorkPerSecond: 1e6,
+		Entries: []results.RuntimeBenchEntry{good},
+	}
+	if err := ValidateRuntime(base); err != nil {
+		t.Fatalf("well-formed file rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*results.RuntimeBenchEntry){
+		"zero-throughput":  func(e *results.RuntimeBenchEntry) { e.CellsPerSec = 0 },
+		"nan-volume":       func(e *results.RuntimeBenchEntry) { e.MeasuredVolume = nan() },
+		"1%-gate":          func(e *results.RuntimeBenchEntry) { e.RelError = 0.02 },
+		"violations":       func(e *results.RuntimeBenchEntry) { e.Violations = 3 },
+		"zero-volume":      func(e *results.RuntimeBenchEntry) { e.MeasuredVolume = 0 },
+		"missing-identity": func(e *results.RuntimeBenchEntry) { e.Strategy = "" },
+	} {
+		f := base
+		e := good
+		mutate(&e)
+		f.Entries = []results.RuntimeBenchEntry{e}
+		if err := ValidateRuntime(f); !errors.Is(err, ErrInvalidBench) {
+			t.Errorf("%s: broken entry accepted: %v", name, err)
+		}
+	}
+}
+
+func nan() float64 {
+	zero := 0.0
+	return zero / zero
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	goruntime "runtime"
+
+	"nlfl/internal/platform"
+	"nlfl/internal/results"
+	nrt "nlfl/internal/runtime"
+	"nlfl/internal/stats"
+	"nlfl/internal/trace"
+)
+
+// benchPlatform is one speed profile the runtime sweep executes. The
+// profiles are "snapped": Σsᵢ/s₁ is a perfect square, so the integer
+// block grid realizes the Comm_hom closed form exactly and the 1%
+// agreement gate measures the executor, not the rounding.
+type benchPlatform struct {
+	name   string
+	speeds []float64
+}
+
+func benchPlatforms(quick bool) []benchPlatform {
+	ps := []benchPlatform{
+		{"hom-p4", []float64{1, 1, 1, 1}},                // Σs/s₁ = 4
+		{"het-1357-p4", []float64{1, 3, 5, 7}},           // Σs/s₁ = 16
+	}
+	if !quick {
+		ps = append(ps,
+			benchPlatform{"hom-p9", []float64{1, 1, 1, 1, 1, 1, 1, 1, 1}}, // Σs/s₁ = 9
+			benchPlatform{"het-1224-p4", []float64{1, 2, 2, 4}},           // Σs/s₁ = 9
+		)
+	}
+	return ps
+}
+
+func runtimeN(quick bool) int {
+	if quick {
+		return 128
+	}
+	return 512
+}
+
+// homTolerance is the acceptance gate for the demand-driven strategies:
+// measured volume within 1% of the closed form (the paper's own
+// imbalance target). hetTolerance is looser because the PERI-SUM
+// rectangles snap to the integer grid worker-by-worker.
+const (
+	homTolerance = 0.01
+	hetTolerance = 0.05
+)
+
+// RunRuntime executes the three distribution strategies on every bench
+// platform through the real worker pool, cross-checks the measured
+// traffic against the analytic predictions, audits every trace, and
+// returns the BENCH_runtime payload. Any hom/hom-k disagreement above 1%
+// or any invariant violation is an error, not a data point.
+func RunRuntime(cfg Config) (results.RuntimeBenchFile, error) {
+	rate := cfg.WorkPerSecond
+	if rate <= 0 {
+		rate = 2e6
+	}
+	file := results.RuntimeBenchFile{
+		Schema:        results.BenchRuntimeSchema,
+		Seed:          cfg.Seed,
+		Quick:         cfg.Quick,
+		WorkPerSecond: rate,
+		GoVersion:     goruntime.Version(),
+		GOMAXPROCS:    maxProcs(),
+	}
+	n := runtimeN(cfg.Quick)
+	r := stats.NewRNG(cfg.Seed)
+	a := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, n)
+	b := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, n)
+
+	for _, bp := range benchPlatforms(cfg.Quick) {
+		pl, err := platform.FromSpeeds(bp.speeds)
+		if err != nil {
+			return file, err
+		}
+		plans := make([]*nrt.StrategyPlan, 0, 3)
+		hom, err := nrt.PlanHom(pl, n)
+		if err != nil {
+			return file, fmt.Errorf("bench: %s hom plan: %w", bp.name, err)
+		}
+		plans = append(plans, hom)
+		homk, err := nrt.PlanHomK(pl, n, 0.01, 0)
+		if err != nil {
+			return file, fmt.Errorf("bench: %s hom/k plan: %w", bp.name, err)
+		}
+		plans = append(plans, homk)
+		het, err := nrt.PlanHet(pl, n)
+		if err != nil {
+			return file, fmt.Errorf("bench: %s het plan: %w", bp.name, err)
+		}
+		plans = append(plans, het)
+
+		for _, plan := range plans {
+			tol := homTolerance
+			if plan.Strategy == "het" {
+				tol = hetTolerance
+			}
+			rep, err := nrt.Run(plan, a, b, nrt.Options{
+				Speeds:        bp.speeds,
+				WorkPerSecond: rate,
+				// A small burst (1 ms of credit) keeps the first worker
+				// from draining a coarse chunk pool before the rest of
+				// the pool has even started.
+				Burst:       rate * 0.001,
+				VerifyEvery: 1009,
+			})
+			if err != nil {
+				return file, fmt.Errorf("bench: %s/%s: %w", bp.name, plan.Strategy, err)
+			}
+			violations := trace.Check(rep.Trace, rep.Expect(tol))
+			relErr := math.Abs(rep.DataVolume-rep.Predicted) / rep.Predicted
+			if relErr > tol {
+				return file, fmt.Errorf("bench: %s/%s measured volume %v vs closed form %v (relErr %.4f > %.2f)",
+					bp.name, plan.Strategy, rep.DataVolume, rep.Predicted, relErr, tol)
+			}
+			if len(violations) > 0 {
+				return file, fmt.Errorf("bench: %s/%s trace violations: %v", bp.name, plan.Strategy, trace.Must(violations))
+			}
+			m := trace.MetricsOf(rep.Trace)
+			imbalance := m.Imbalance
+			if math.IsInf(imbalance, 0) || math.IsNaN(imbalance) {
+				imbalance = -1 // a worker never computed: imbalance undefined
+			}
+			file.Entries = append(file.Entries, results.RuntimeBenchEntry{
+				Platform: bp.name, Speeds: bp.speeds,
+				Strategy: plan.Strategy, Grid: plan.Grid, K: plan.K,
+				N: n, Workers: rep.Workers, Chunks: rep.Chunks,
+				MeasuredVolume:  rep.DataVolume,
+				PredictedVolume: rep.Predicted,
+				RelError:        relErr,
+				BytesMoved:      8 * rep.DataVolume,
+				Makespan:        rep.Makespan,
+				CellsPerSec:     rep.WorkCells / rep.Makespan,
+				Utilization:     m.Utilization,
+				Imbalance:       imbalance,
+				Violations:      0,
+			})
+		}
+	}
+	return file, nil
+}
+
+// Run executes the full harness and writes both artifacts into dir,
+// returning their paths. Both payloads are validated before writing — a
+// file that would fail the CI schema gate is never emitted.
+func Run(cfg Config, dir string) (kernelsPath, runtimePath string, err error) {
+	kernelsPath, runtimePath = Paths(dir)
+	kf, err := RunKernels(cfg)
+	if err != nil {
+		return "", "", err
+	}
+	if err := ValidateKernels(kf); err != nil {
+		return "", "", err
+	}
+	rf, err := RunRuntime(cfg)
+	if err != nil {
+		return "", "", err
+	}
+	if err := ValidateRuntime(rf); err != nil {
+		return "", "", err
+	}
+	if err := results.SaveBenchKernels(kernelsPath, kf); err != nil {
+		return "", "", err
+	}
+	if err := results.SaveBenchRuntime(runtimePath, rf); err != nil {
+		return "", "", err
+	}
+	return kernelsPath, runtimePath, nil
+}

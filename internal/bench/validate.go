@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nlfl/internal/results"
+)
+
+// ErrInvalidBench marks a bench artifact that fails the schema gate.
+var ErrInvalidBench = errors.New("bench: invalid artifact")
+
+func invalid(path, format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s: %s", ErrInvalidBench, path, fmt.Sprintf(format, args...))
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// ValidateKernels is the schema check for a BENCH_kernels payload: right
+// schema id, a non-empty entry list, finite positive timings and
+// throughputs, and every entry equivalence-checked against the reference
+// kernel.
+func ValidateKernels(f results.KernelBenchFile) error {
+	const path = KernelsFileName
+	if f.Schema != results.BenchKernelsSchema {
+		return invalid(path, "schema %q, want %q", f.Schema, results.BenchKernelsSchema)
+	}
+	if len(f.Entries) == 0 {
+		return invalid(path, "no entries")
+	}
+	if f.AutotunedTile <= 0 {
+		return invalid(path, "non-positive autotuned tile %d", f.AutotunedTile)
+	}
+	for i, e := range f.Entries {
+		id := fmt.Sprintf("entry %d (%s n=%d)", i, e.Kernel, e.N)
+		if e.Kernel == "" || e.N <= 0 {
+			return invalid(path, "%s: missing kernel name or size", id)
+		}
+		if !finite(e.Seconds) || e.Seconds <= 0 {
+			return invalid(path, "%s: non-positive or non-finite seconds %v", id, e.Seconds)
+		}
+		if !finite(e.GFLOPS) || e.GFLOPS <= 0 {
+			return invalid(path, "%s: zero or non-finite throughput %v GFLOPS", id, e.GFLOPS)
+		}
+		if !finite(e.MaxAbsErr) || e.MaxAbsErr > 1e-12 {
+			return invalid(path, "%s: kernel deviates from reference by %v", id, e.MaxAbsErr)
+		}
+		if !e.Checked {
+			return invalid(path, "%s: equivalence check did not run", id)
+		}
+	}
+	return nil
+}
+
+// ValidateRuntime is the schema check for a BENCH_runtime payload: right
+// schema id, non-empty entries, finite fields, positive throughput, zero
+// invariant violations, and the hom / hom-k measured volumes within 1% of
+// their closed forms (het within its grid-rounding tolerance).
+func ValidateRuntime(f results.RuntimeBenchFile) error {
+	const path = RuntimeFileName
+	if f.Schema != results.BenchRuntimeSchema {
+		return invalid(path, "schema %q, want %q", f.Schema, results.BenchRuntimeSchema)
+	}
+	if len(f.Entries) == 0 {
+		return invalid(path, "no entries")
+	}
+	if !finite(f.WorkPerSecond) || f.WorkPerSecond <= 0 {
+		return invalid(path, "non-positive work rate %v", f.WorkPerSecond)
+	}
+	for i, e := range f.Entries {
+		id := fmt.Sprintf("entry %d (%s/%s n=%d)", i, e.Platform, e.Strategy, e.N)
+		if e.Platform == "" || e.Strategy == "" || e.N <= 0 || e.Workers <= 0 || e.Chunks <= 0 {
+			return invalid(path, "%s: missing identity fields", id)
+		}
+		if len(e.Speeds) != e.Workers {
+			return invalid(path, "%s: %d speeds for %d workers", id, len(e.Speeds), e.Workers)
+		}
+		for _, v := range []struct {
+			name  string
+			value float64
+		}{
+			{"measuredVolume", e.MeasuredVolume},
+			{"predictedVolume", e.PredictedVolume},
+			{"relError", e.RelError},
+			{"bytesMoved", e.BytesMoved},
+			{"makespan", e.Makespan},
+			{"cellsPerSec", e.CellsPerSec},
+			{"utilization", e.Utilization},
+		} {
+			if !finite(v.value) {
+				return invalid(path, "%s: non-finite %s %v", id, v.name, v.value)
+			}
+		}
+		if e.MeasuredVolume <= 0 || e.PredictedVolume <= 0 {
+			return invalid(path, "%s: zero communication volume", id)
+		}
+		if e.Makespan <= 0 || e.CellsPerSec <= 0 {
+			return invalid(path, "%s: zero throughput (makespan %v, cells/s %v)", id, e.Makespan, e.CellsPerSec)
+		}
+		tol := homTolerance
+		if e.Strategy == "het" {
+			tol = hetTolerance
+		}
+		if e.RelError > tol {
+			return invalid(path, "%s: measured volume off the closed form by %.4f (> %.2f)", id, e.RelError, tol)
+		}
+		if e.Violations != 0 {
+			return invalid(path, "%s: %d invariant violations", id, e.Violations)
+		}
+	}
+	return nil
+}
+
+// ValidateFiles loads and validates both artifacts under dir — the CI
+// bench-smoke gate.
+func ValidateFiles(dir string) error {
+	kernelsPath, runtimePath := Paths(dir)
+	kf, err := results.LoadBenchKernels(kernelsPath)
+	if err != nil {
+		return err
+	}
+	if err := ValidateKernels(kf); err != nil {
+		return err
+	}
+	rf, err := results.LoadBenchRuntime(runtimePath)
+	if err != nil {
+		return err
+	}
+	return ValidateRuntime(rf)
+}

@@ -1,15 +1,9 @@
-// Package matmul implements the matrix-multiplication side of the paper's
-// Section 4.2: real dense kernels (the correctness anchor), the
-// ScaLAPACK-style outer-product algorithm of Figure 3, and the
-// communication accounting that links a data layout's rectangle geometry
-// to the volume of broadcasts the algorithm generates.
 package matmul
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 
 	"nlfl/internal/stats"
 )
@@ -130,45 +124,10 @@ func Blocked(a, b *Matrix, bs int) (*Matrix, error) {
 }
 
 // Parallel computes C = A·B splitting row bands across `workers`
-// goroutines.
+// goroutines. Each band runs the tiled kernel at the autotuned tile size
+// (see AutotuneTile), so this is also the fast path.
 func Parallel(a, b *Matrix, workers int) (*Matrix, error) {
-	if err := checkMul(a, b); err != nil {
-		return nil, err
-	}
-	if workers <= 0 {
-		return nil, errors.New("matmul: need at least one worker")
-	}
-	if workers > a.Rows {
-		workers = a.Rows
-	}
-	c := New(a.Rows, b.Cols)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * a.Rows / workers
-		hi := (w + 1) * a.Rows / workers
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				for k := 0; k < a.Cols; k++ {
-					aik := a.Data[i*a.Cols+k]
-					if aik == 0 {
-						continue
-					}
-					cRow := c.Data[i*c.Cols:]
-					bRow := b.Data[k*b.Cols:]
-					for j := 0; j < b.Cols; j++ {
-						cRow[j] += aik * bRow[j]
-					}
-				}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return c, nil
+	return ParallelTiled(a, b, workers)
 }
 
 // OuterProduct computes C = A·B as a sum of N rank-1 updates

@@ -1,0 +1,147 @@
+package matmul
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// tileCandidates are the block sides the autotune probe races. They
+// bracket the L1/L2-resident working sets of contemporary cores: a bs×bs
+// float64 tile of each of A, B and C occupies 3·8·bs² bytes — 24 KiB at
+// bs=32, 1.5 MiB at bs=256.
+var tileCandidates = []int{32, 64, 128, 256}
+
+// probeN is the matrix side the autotune probe multiplies. Large enough
+// that the fastest candidate wins by cache behaviour rather than loop
+// overhead, small enough that the one-off probe stays in the tens of
+// milliseconds.
+const probeN = 192
+
+var (
+	tileOnce sync.Once
+	tileSize int
+)
+
+// AutotuneTile returns the tile side the tiled kernels use, measuring it
+// once per process: each candidate multiplies the same seeded probeN×probeN
+// pair through the blocked kernel and the fastest side wins. The result is
+// cached — every later call is a plain load.
+func AutotuneTile() int {
+	tileOnce.Do(func() {
+		a := Random(probeN, probeN, 7)
+		b := Random(probeN, probeN, 11)
+		c := New(probeN, probeN)
+		best, bestTime := tileCandidates[0], time.Duration(1<<62)
+		for _, bs := range tileCandidates {
+			for i := range c.Data {
+				c.Data[i] = 0
+			}
+			start := time.Now()
+			mulRowsInto(c, a, b, 0, probeN, bs)
+			if d := time.Since(start); d < bestTime {
+				best, bestTime = bs, d
+			}
+		}
+		tileSize = best
+	})
+	return tileSize
+}
+
+// Tiled computes C = A·B with the cache-blocked kernel at the autotuned
+// tile size. Inputs smaller than one tile in every dimension fall back to
+// the naive reference kernel — at that scale the whole problem is
+// cache-resident and the reference loop is both correct and fastest.
+func Tiled(a, b *Matrix) (*Matrix, error) {
+	if err := checkMul(a, b); err != nil {
+		return nil, err
+	}
+	bs := AutotuneTile()
+	if a.Rows <= bs && a.Cols <= bs && b.Cols <= bs {
+		return Naive(a, b)
+	}
+	c := New(a.Rows, b.Cols)
+	mulRowsInto(c, a, b, 0, a.Rows, bs)
+	return c, nil
+}
+
+// ParallelTiled computes C = A·B splitting row bands across `workers`
+// goroutines, each band running the tiled kernel at the autotuned tile
+// size.
+func ParallelTiled(a, b *Matrix, workers int) (*Matrix, error) {
+	if err := checkMul(a, b); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		return nil, errors.New("matmul: need at least one worker")
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	bs := AutotuneTile()
+	c := New(a.Rows, b.Cols)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * a.Rows / workers
+		hi := (w + 1) * a.Rows / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRowsInto(c, a, b, lo, hi, bs)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return c, nil
+}
+
+// mulRowsInto accumulates rows [rowLo, rowHi) of A·B into the matching
+// rows of c, blocking the k and j loops into bs-sided tiles so the active
+// B panel stays cache-resident while a row strip of A streams through.
+func mulRowsInto(c, a, b *Matrix, rowLo, rowHi, bs int) {
+	for kk := 0; kk < a.Cols; kk += bs {
+		kMax := min(kk+bs, a.Cols)
+		for jj := 0; jj < b.Cols; jj += bs {
+			jMax := min(jj+bs, b.Cols)
+			for i := rowLo; i < rowHi; i++ {
+				aRow := a.Data[i*a.Cols:]
+				cRow := c.Data[i*c.Cols:]
+				for k := kk; k < kMax; k++ {
+					aik := aRow[k]
+					if aik == 0 {
+						continue
+					}
+					bRow := b.Data[k*b.Cols:]
+					for j := jj; j < jMax; j++ {
+						cRow[j] += aik * bRow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// OuterInto fills the [rowLo,rowHi)×[colLo,colHi) rectangle of c with the
+// outer product a̅ᵀ×b̅, tiling the column range so the touched b̅ slice and
+// output rows stream tile by tile. It is the kernel the plan executors
+// (internal/core, internal/runtime) run on each worker's assigned
+// sub-domain; bounds are the caller's responsibility, like a slice
+// expression. The work performed is (rowHi-rowLo)·(colHi-colLo) cell
+// updates on (rowHi-rowLo)+(colHi-colLo) input elements — the non-linear
+// ratio the paper's communication analysis is about.
+func OuterInto(c *Matrix, a, b []float64, rowLo, rowHi, colLo, colHi int) {
+	bs := AutotuneTile()
+	for jj := colLo; jj < colHi; jj += bs {
+		jMax := min(jj+bs, colHi)
+		bTile := b[jj:jMax]
+		for i := rowLo; i < rowHi; i++ {
+			av := a[i]
+			cRow := c.Data[i*c.Cols+jj : i*c.Cols+jMax]
+			for j, bv := range bTile {
+				cRow[j] = av * bv
+			}
+		}
+	}
+}

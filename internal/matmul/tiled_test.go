@@ -1,0 +1,107 @@
+package matmul
+
+import (
+	"testing"
+
+	"nlfl/internal/stats"
+)
+
+func TestAutotuneTileIsACandidate(t *testing.T) {
+	bs := AutotuneTile()
+	ok := false
+	for _, c := range tileCandidates {
+		if bs == c {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("autotuned tile %d is not among the candidates %v", bs, tileCandidates)
+	}
+	if again := AutotuneTile(); again != bs {
+		t.Fatalf("autotune not stable: %d then %d", bs, again)
+	}
+}
+
+// TestTiledMatchesNaiveProperty is the kernel-equivalence property test:
+// across randomized rectangular shapes — deliberately including sides that
+// are not multiples of any tile candidate, sides of 1, and sides larger
+// than one tile — the tiled and parallel kernels must reproduce the naive
+// kernel element-wise within 1e-12.
+func TestTiledMatchesNaiveProperty(t *testing.T) {
+	r := stats.NewRNG(2024)
+	dim := func() int { return 1 + int(r.Float64()*300) }
+	for trial := 0; trial < 25; trial++ {
+		m, k, n := dim(), dim(), dim()
+		a := Random(m, k, int64(trial*3+1))
+		b := Random(k, n, int64(trial*3+2))
+		want, err := Naive(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Tiled(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(got, 1e-12) {
+			t.Fatalf("trial %d (%dx%d · %dx%d): tiled kernel diverges from naive", trial, m, k, n, n)
+		}
+		workers := 1 + int(r.Float64()*7)
+		par, err := ParallelTiled(a, b, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(par, 1e-12) {
+			t.Fatalf("trial %d: parallel tiled kernel (%d workers) diverges from naive", trial, workers)
+		}
+	}
+}
+
+// TestOuterIntoMatchesVectorOuter covers the rectangle fill the plan
+// executors run: random sub-rectangles of a random outer product,
+// including spans that straddle tile boundaries, must match the reference
+// kernel exactly on the rectangle and leave the rest of C untouched.
+func TestOuterIntoMatchesVectorOuter(t *testing.T) {
+	r := stats.NewRNG(99)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + int(r.Float64()*400)
+		a := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, n)
+		b := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, n)
+		want := VectorOuter(a, b)
+		rowLo := int(r.Float64() * float64(n))
+		rowHi := rowLo + 1 + int(r.Float64()*float64(n-rowLo))
+		colLo := int(r.Float64() * float64(n))
+		colHi := colLo + 1 + int(r.Float64()*float64(n-colLo))
+		if rowHi > n {
+			rowHi = n
+		}
+		if colHi > n {
+			colHi = n
+		}
+		got := New(n, n)
+		OuterInto(got, a, b, rowLo, rowHi, colLo, colHi)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				inside := i >= rowLo && i < rowHi && j >= colLo && j < colHi
+				if inside && got.At(i, j) != want.At(i, j) {
+					t.Fatalf("trial %d n=%d: cell (%d,%d) = %g, want %g", trial, n, i, j, got.At(i, j), want.At(i, j))
+				}
+				if !inside && got.At(i, j) != 0 {
+					t.Fatalf("trial %d n=%d: cell (%d,%d) outside rect written (%g)", trial, n, i, j, got.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestTiledShapeValidation(t *testing.T) {
+	a, b := Random(3, 4, 1), Random(5, 3, 2)
+	if _, err := Tiled(a, b); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+	if _, err := ParallelTiled(a, b, 2); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+	if _, err := ParallelTiled(Random(3, 3, 1), Random(3, 3, 2), 0); err == nil {
+		t.Error("zero workers should fail")
+	}
+}

@@ -1,26 +1,3 @@
-// Package outer implements the three data-distribution strategies the
-// paper compares for the outer product a̅ᵀ × b̅ of two size-N vectors
-// (Section 4.1) — the N²-work, 2N-data workload that epitomizes a
-// non-linear divisible load.
-//
-// All strategies enforce (near-)perfect load balancing — each worker gets
-// computational area proportional to its normalized speed xᵢ — and are
-// scored by the total volume of vector data the master must ship:
-//
-//   - Homogeneous Blocks (Comm_hom): the MapReduce-style layout. The N×N
-//     computation domain is cut into identical squares sized for the
-//     slowest worker (D = √x₁·N, one block for P₁) and distributed demand-
-//     driven. Volume: Comm_hom = 2N·√(Σsᵢ/s₁).
-//   - Comm_hom/k: the realistic variant. Block counts must be integers, so
-//     the ideal block size can leave a prohibitive load imbalance; the
-//     block side is divided by k = 1, 2, 3, … until the demand-driven
-//     imbalance e = (t_max - t_min)/t_min drops to the 1% target of
-//     Section 4.3.
-//   - Heterogeneous Blocks (Comm_het): one rectangle per worker, from the
-//     PERI-SUM partitioner, with area xᵢ and data cost (wᵢ+hᵢ)·N.
-//
-// The reference point is LB_comm = 2N·Σ√xᵢ, each worker receiving a
-// perfect square of area xᵢN².
 package outer
 
 import (

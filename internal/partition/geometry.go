@@ -1,20 +1,3 @@
-// Package partition implements the rectangle-partitioning algorithms
-// behind the paper's Heterogeneous Blocks strategy (Section 4.1.2).
-//
-// The problem, introduced by Beaumont, Boudet, Rastello and Robert
-// ("Partitioning a square into rectangles: NP-completeness and
-// approximation algorithms", Algorithmica 34(3), 2002 — the paper's
-// reference [41]): partition the unit square into p non-overlapping
-// rectangles of prescribed areas a₁…a_p (Σaᵢ = 1), minimizing either the
-// sum of the half-perimeters (PERI-SUM) or their maximum (PERI-MAX).
-//
-// In the outer-product/matrix-multiplication setting, rectangle i's area
-// is worker i's normalized speed xᵢ (perfect load balance) and its
-// half-perimeter is the amount of vector data the worker must receive, so
-// PERI-SUM is exactly the total communication volume. The trivial lower
-// bound is LB = 2Σ√aᵢ (every rectangle is at best a square); the
-// column-based algorithm reproduced here guarantees Ĉ ≤ 1 + (5/4)·LB,
-// hence Ĉ ≤ (7/4)·LB since LB ≥ 2, and is asymptotically within 5/4.
 package partition
 
 import (

@@ -1,0 +1,159 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+
+	"nlfl/internal/core"
+	"nlfl/internal/outer"
+	"nlfl/internal/platform"
+)
+
+// StrategyPlan is an executable distribution plan: the chunk list plus the
+// analytic communication volume the measured run is cross-checked against.
+type StrategyPlan struct {
+	// Strategy names the policy ("hom", "hom/k", "het").
+	Strategy string
+	// N is the vector length (the domain is N×N).
+	N int
+	// Chunks lists the schedulable rectangles; they tile the domain.
+	Chunks []Chunk
+	// Grid is the block grid side for the homogeneous strategies (0 for
+	// het).
+	Grid int
+	// K is the Comm_hom/k refinement factor (1 for hom, 0 for het).
+	K int
+	// Predicted is the strategy's closed-form communication volume in
+	// vector elements: 2N·√(Σsᵢ/s₁) for hom, its k-refined integer form
+	// for hom/k, Σ(wᵢ+hᵢ)·N for het.
+	Predicted float64
+}
+
+// sumOverMin returns Σsᵢ/s₁ for the platform — the paper's S/s₁ factor
+// whose square root sets the homogeneous block grid.
+func sumOverMin(pl *platform.Platform) float64 {
+	s1 := math.Inf(1)
+	sum := 0.0
+	for _, s := range pl.Speeds() {
+		sum += s
+		if s < s1 {
+			s1 = s
+		}
+	}
+	return sum / s1
+}
+
+// GridSide returns the integer block grid of the Homogeneous Blocks
+// strategy: the ideal block side is √x₁·N, so √(Σsᵢ/s₁) blocks span the
+// domain, rounded to the nearest integer grid (at least 1).
+func GridSide(pl *platform.Platform) int {
+	g := int(math.Round(math.Sqrt(sumOverMin(pl))))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// GridChunks cuts the N×N domain into grid×grid near-square ownerless
+// chunks in scan order — the demand-driven block pool of the MapReduce
+// strategy. Boundaries use the i·n/grid rounding, so the chunks tile the
+// domain exactly even when grid does not divide n.
+func GridChunks(n, grid int) ([]Chunk, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("runtime: invalid problem size %d", n)
+	}
+	if grid <= 0 || grid > n {
+		return nil, fmt.Errorf("runtime: grid %d not in [1, %d]", grid, n)
+	}
+	chunks := make([]Chunk, 0, grid*grid)
+	for bi := 0; bi < grid; bi++ {
+		for bj := 0; bj < grid; bj++ {
+			chunks = append(chunks, Chunk{
+				Task:  bi*grid + bj,
+				RowLo: bi * n / grid, RowHi: (bi + 1) * n / grid,
+				ColLo: bj * n / grid, ColHi: (bj + 1) * n / grid,
+				Owner: -1,
+			})
+		}
+	}
+	return chunks, nil
+}
+
+// PlanHom builds the Homogeneous Blocks plan: identical ownerless blocks
+// sized for the slowest worker, claimed demand-driven. The prediction is
+// the paper's closed form Comm_hom = 2N·√(Σsᵢ/s₁).
+func PlanHom(pl *platform.Platform, n int) (*StrategyPlan, error) {
+	grid := GridSide(pl)
+	chunks, err := GridChunks(n, grid)
+	if err != nil {
+		return nil, err
+	}
+	return &StrategyPlan{
+		Strategy:  "hom",
+		N:         n,
+		Chunks:    chunks,
+		Grid:      grid,
+		K:         1,
+		Predicted: outer.Commhom(pl, float64(n)).Volume,
+	}, nil
+}
+
+// PlanHomK builds the Comm_hom/k plan: the block side is divided by the
+// smallest k whose demand-driven assignment balances within eps
+// (Section 4.3; the paper uses eps = 0.01), then the domain is cut into
+// the k-refined grid. The prediction is the analytic k-refined volume from
+// outer.CommhomK.
+func PlanHomK(pl *platform.Platform, n int, eps float64, maxK int) (*StrategyPlan, error) {
+	res, err := outer.CommhomK(pl, float64(n), eps, maxK)
+	if err != nil {
+		return nil, err
+	}
+	grid := int(math.Round(float64(res.K) * math.Sqrt(sumOverMin(pl))))
+	if grid < 1 {
+		grid = 1
+	}
+	chunks, err := GridChunks(n, grid)
+	if err != nil {
+		return nil, err
+	}
+	return &StrategyPlan{
+		Strategy:  "hom/k",
+		N:         n,
+		Chunks:    chunks,
+		Grid:      grid,
+		K:         res.K,
+		Predicted: res.Volume,
+	}, nil
+}
+
+// PlanHet builds the Heterogeneous Blocks plan: one owned chunk per worker
+// from the PERI-SUM rectangle partition, snapped to the integer grid. The
+// prediction is the plan's Σ(wᵢ+hᵢ)·N volume (= Comm_het). A rectangle
+// that collapses on the integer grid surfaces as core's typed
+// degenerate-rect error.
+func PlanHet(pl *platform.Platform, n int) (*StrategyPlan, error) {
+	plan, err := core.PlanOuterProduct(pl, float64(n))
+	if err != nil {
+		return nil, err
+	}
+	rects, err := core.SnapPlan(plan, n)
+	if err != nil {
+		return nil, err
+	}
+	chunks := make([]Chunk, len(rects))
+	for i, r := range rects {
+		chunks[i] = Chunk{
+			Task:  i,
+			RowLo: r.RowLo, RowHi: r.RowHi,
+			ColLo: r.ColLo, ColHi: r.ColHi,
+			Owner: i,
+		}
+	}
+	return &StrategyPlan{
+		Strategy:  "het",
+		N:         n,
+		Chunks:    chunks,
+		K:         0,
+		Predicted: plan.TotalVolume,
+	}, nil
+}

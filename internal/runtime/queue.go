@@ -1,0 +1,97 @@
+package runtime
+
+import "sync"
+
+// Chunk is one schedulable rectangle of the N×N computation domain: rows
+// [RowLo,RowHi) over a̅, columns [ColLo,ColHi) over b̅.
+type Chunk struct {
+	// Task is the chunk's id, carried into the trace spans.
+	Task int
+	// RowLo, RowHi, ColLo, ColHi bound the rectangle on the integer grid.
+	RowLo, RowHi, ColLo, ColHi int
+	// Owner pins the chunk to one worker (Heterogeneous Blocks); -1 means
+	// any worker may claim it (demand-driven).
+	Owner int
+}
+
+// Cells returns the number of output cells the chunk covers.
+func (c Chunk) Cells() int { return (c.RowHi - c.RowLo) * (c.ColHi - c.ColLo) }
+
+// Data returns the number of input vector elements the chunk ships — its
+// row span plus its column span, the (w+h)·N accounting of the paper.
+func (c Chunk) Data() int { return (c.RowHi - c.RowLo) + (c.ColHi - c.ColLo) }
+
+// shard is one lock-striped segment of the shared queue.
+type shard struct {
+	mu    sync.Mutex
+	items []Chunk
+	head  int
+}
+
+// pop takes the next chunk off the shard, if any.
+func (s *shard) pop() (Chunk, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.head >= len(s.items) {
+		return Chunk{}, false
+	}
+	c := s.items[s.head]
+	s.head++
+	return c, true
+}
+
+// workQueue distributes chunks to workers: owned chunks sit in per-worker
+// private lists (only their owner touches them, no locking), ownerless
+// chunks are striped round-robin across shards that any worker may drain —
+// home shard first, then stealing from the others.
+type workQueue struct {
+	shards  []*shard
+	private [][]Chunk // private[w] is worker w's owned backlog (LIFO-free, index-advanced)
+	phead   []int
+}
+
+// newWorkQueue stripes the chunks over `shards` segments for `workers`
+// workers. Chunk order is preserved within each stripe, so the demand
+// process scans the domain in the scan order the planner emitted.
+func newWorkQueue(chunks []Chunk, workers, shards int) *workQueue {
+	if shards < 1 {
+		shards = 1
+	}
+	q := &workQueue{
+		shards:  make([]*shard, shards),
+		private: make([][]Chunk, workers),
+		phead:   make([]int, workers),
+	}
+	for i := range q.shards {
+		q.shards[i] = &shard{}
+	}
+	next := 0
+	for _, c := range chunks {
+		if c.Owner >= 0 && c.Owner < workers {
+			q.private[c.Owner] = append(q.private[c.Owner], c)
+			continue
+		}
+		s := q.shards[next%shards]
+		s.items = append(s.items, c)
+		next++
+	}
+	return q
+}
+
+// pop returns worker w's next chunk: private backlog first, then the home
+// shard, then work stealing in ring order. ok=false means the whole queue
+// is drained for this worker.
+func (q *workQueue) pop(w int) (Chunk, bool) {
+	if q.phead[w] < len(q.private[w]) {
+		c := q.private[w][q.phead[w]]
+		q.phead[w]++
+		return c, true
+	}
+	n := len(q.shards)
+	for i := 0; i < n; i++ {
+		if c, ok := q.shards[(w+i)%n].pop(); ok {
+			return c, true
+		}
+	}
+	return Chunk{}, false
+}

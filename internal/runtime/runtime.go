@@ -1,0 +1,212 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"nlfl/internal/matmul"
+	"nlfl/internal/trace"
+)
+
+// Options configures the worker pool.
+type Options struct {
+	// Speeds are the workers' relative speeds (one entry per worker, all
+	// positive). Required.
+	Speeds []float64
+	// WorkPerSecond is the cell-update rate of a speed-1 worker — the
+	// token-bucket refill scale. 0 selects 2e6 cells/s, fast enough for
+	// sub-second benches yet slow enough that the throttle (not the real
+	// CPU) sets the pace, so relative speeds are honored even on one core.
+	WorkPerSecond float64
+	// Shards is the shared-queue stripe count; 0 selects min(workers, 8).
+	Shards int
+	// Burst is the token-bucket capacity in cells; 0 selects 5 ms of
+	// credit at the worker's rate.
+	Burst float64
+	// VerifyEvery, when positive, spot-checks every VerifyEvery-th output
+	// cell against a[i]·b[j] after the run and fails the run on mismatch.
+	VerifyEvery int
+}
+
+// Report is the outcome of one measured run.
+type Report struct {
+	// Strategy, N, Grid and K echo the executed plan.
+	Strategy string
+	N        int
+	Grid     int
+	K        int
+	// Workers is the pool size, Chunks the number of chunks executed.
+	Workers int
+	Chunks  int
+	// Predicted is the plan's closed-form communication volume.
+	Predicted float64
+	// DataVolume is the measured volume: vector elements actually copied
+	// into worker-local buffers, summed over chunks.
+	DataVolume float64
+	// WorkCells is the total output cells computed (= N² for a full run).
+	WorkCells float64
+	// Makespan is the wall-clock run time in seconds.
+	Makespan float64
+	// PerWorkerData and PerWorkerCells split DataVolume and WorkCells by
+	// worker — the measured footprint behind the paper's Figure 2.
+	PerWorkerData  []float64
+	PerWorkerCells []float64
+	// Out is the computed product.
+	Out *matmul.Matrix
+	// Trace is the run's audited timeline (wall-clock seconds).
+	Trace *trace.Timeline
+}
+
+// Expect returns the invariant-oracle expectations for the run: exact
+// work conservation (every cell computed once), the exact shipping ledger,
+// and the strategy's analytic volume as an exact bound within relTol.
+func (r *Report) Expect(relTol float64) *trace.Expect {
+	nn := float64(r.N) * float64(r.N)
+	return &trace.Expect{
+		HasWork:       true,
+		TotalWork:     nn,
+		ProcessedWork: nn,
+		HasComm:       true,
+		ShippedData:   r.DataVolume,
+		Bound:         r.Predicted,
+		BoundKind:     trace.BoundExact,
+		BoundName:     "Comm_" + r.Strategy,
+		Tol:           relTol,
+	}
+}
+
+// Run executes the plan on real vectors: len(Speeds) goroutine workers
+// pull chunks from the sharded queue, ship each chunk's a̅/b̅ intervals
+// into worker-local buffers (the Comm span), pay the chunk's area to their
+// token bucket and fill the output rectangle through the tiled kernel (the
+// Compute span). The returned report carries the product, the measured
+// per-worker traffic, and the trace.Live timeline of the run.
+func Run(plan *StrategyPlan, a, b []float64, opts Options) (*Report, error) {
+	n := plan.N
+	if len(a) != n || len(b) != n {
+		return nil, fmt.Errorf("runtime: plan is for N=%d, got vectors of %d and %d", n, len(a), len(b))
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("runtime: empty vectors")
+	}
+	p := len(opts.Speeds)
+	if p == 0 {
+		return nil, fmt.Errorf("runtime: need at least one worker speed")
+	}
+	for i, s := range opts.Speeds {
+		if s <= 0 {
+			return nil, fmt.Errorf("runtime: worker %d has non-positive speed %v", i, s)
+		}
+	}
+	totalCells := 0
+	for _, c := range plan.Chunks {
+		if c.RowLo < 0 || c.ColLo < 0 || c.RowHi > n || c.ColHi > n || c.Cells() <= 0 {
+			return nil, fmt.Errorf("runtime: chunk %d has invalid bounds rows[%d,%d) cols[%d,%d)", c.Task, c.RowLo, c.RowHi, c.ColLo, c.ColHi)
+		}
+		if c.Owner >= p {
+			return nil, fmt.Errorf("runtime: chunk %d owned by worker %d of %d", c.Task, c.Owner, p)
+		}
+		totalCells += c.Cells()
+	}
+	if totalCells != n*n {
+		return nil, fmt.Errorf("runtime: chunks cover %d cells, domain has %d", totalCells, n*n)
+	}
+	rate := opts.WorkPerSecond
+	if rate <= 0 {
+		rate = 2e6
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = min(p, 8)
+	}
+
+	out := matmul.New(n, n)
+	queue := newWorkQueue(plan.Chunks, p, shards)
+	live := trace.NewLive(p)
+	perData := make([]float64, p)
+	perCells := make([]float64, p)
+
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			bucket := newTokenBucket(opts.Speeds[w]*rate, opts.Burst)
+			var aBuf, bBuf []float64
+			for {
+				c, ok := queue.pop(w)
+				if !ok {
+					return
+				}
+				// Ship the chunk's inputs: the only elements this worker
+				// may read are the copies it just received.
+				t0 := live.Now()
+				aBuf = append(aBuf[:0], a[c.RowLo:c.RowHi]...)
+				bBuf = append(bBuf[:0], b[c.ColLo:c.ColHi]...)
+				t1 := live.Now()
+				live.Add(w, trace.Span{Kind: trace.Comm, Start: t0, End: t1,
+					Data: float64(c.Data()), Task: c.Task})
+
+				// Compute: the token bucket stretches the span to the
+				// duration a speed-sᵢ processor would need.
+				cells := float64(c.Cells())
+				bucket.acquire(cells)
+				fillChunk(out, aBuf, bBuf, c)
+				t2 := live.Now()
+				live.Add(w, trace.Span{Kind: trace.Compute, Start: t1, End: t2,
+					Work: cells, Task: c.Task})
+
+				perData[w] += float64(c.Data())
+				perCells[w] += cells
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	tl := live.Timeline()
+	rep := &Report{
+		Strategy:       plan.Strategy,
+		N:              n,
+		Grid:           plan.Grid,
+		K:              plan.K,
+		Workers:        p,
+		Chunks:         len(plan.Chunks),
+		Predicted:      plan.Predicted,
+		WorkCells:      float64(totalCells),
+		Makespan:       tl.Makespan,
+		PerWorkerData:  perData,
+		PerWorkerCells: perCells,
+		Out:            out,
+		Trace:          tl,
+	}
+	for _, d := range perData {
+		rep.DataVolume += d
+	}
+	if opts.VerifyEvery > 0 {
+		for idx := 0; idx < n*n; idx += opts.VerifyEvery {
+			i, j := idx/n, idx%n
+			if want := a[i] * b[j]; out.Data[idx] != want {
+				return nil, fmt.Errorf("runtime: output cell (%d,%d) = %v, want %v", i, j, out.Data[idx], want)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// fillChunk writes the chunk's rectangle of the outer product from the
+// worker-local copies, tiling the column range like matmul.OuterInto.
+func fillChunk(out *matmul.Matrix, aBuf, bBuf []float64, c Chunk) {
+	bs := matmul.AutotuneTile()
+	n := out.Cols
+	for jj := 0; jj < len(bBuf); jj += bs {
+		jMax := min(jj+bs, len(bBuf))
+		bTile := bBuf[jj:jMax]
+		for i, av := range aBuf {
+			base := (c.RowLo+i)*n + c.ColLo
+			row := out.Data[base+jj : base+jMax]
+			for j, bv := range bTile {
+				row[j] = av * bv
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package runtime
+
+import "time"
+
+// tokenBucket throttles one worker goroutine to a configured work rate.
+// Tokens are cell updates; the bucket refills continuously at `rate`
+// tokens per second up to `burst`. acquire is called by exactly one
+// goroutine, so no locking is needed.
+//
+// The bucket admits debt: a chunk larger than the burst drains the bucket
+// negative and the next acquire pays the balance in sleep time, keeping
+// the *long-run* rate exact without splitting chunks.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // cap on accumulated idle credit
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket builds a bucket refilling at rate tokens/second. A
+// non-positive burst defaults to 5 ms of credit, enough to smooth
+// scheduler jitter without letting a worker run far ahead of its speed.
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	if burst <= 0 {
+		burst = rate * 0.005
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// acquire blocks until n tokens are available and consumes them.
+func (tb *tokenBucket) acquire(n float64) {
+	now := time.Now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	tb.last = now
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	if tb.tokens < n {
+		wait := time.Duration((n - tb.tokens) / tb.rate * float64(time.Second))
+		time.Sleep(wait)
+		now = time.Now()
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+		tb.last = now
+	}
+	tb.tokens -= n
+}

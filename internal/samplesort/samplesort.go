@@ -1,24 +1,3 @@
-// Package samplesort implements the parallel sample sort of the paper's
-// Section 3 — the workload that, unlike truly non-linear loads, *is*
-// amenable to Divisible Load Theory after a cheap pre-processing step.
-//
-// Sorting N keys costs N·log N: splitting the input into p lists of N/p
-// keys and sorting them in parallel performs N·log N - N·log p of that
-// work, so the non-divisible fraction log p / log N vanishes for large N.
-// The pre-processing that makes the p partial sorts compose into a fully
-// sorted output is randomized splitter selection (Frazer & McKellar's
-// sample sort, refs [38,39]), in three steps mirroring the paper's
-// Figure 1:
-//
-//	Step 1: draw s·p random sample keys (oversampling ratio s), sort the
-//	        sample, keep the keys of rank s, 2s, …, (p-1)s as splitters;
-//	Step 2: route every key to its bucket by binary search (N·log p);
-//	Step 3: sort the p buckets independently, one worker per bucket.
-//
-// With s = log²N, the largest bucket is (N/p)(1 + (1/log N)^(1/3)) with
-// probability at least 1 - N^(-1/3) (Theorem B.4 of Blelloch et al.,
-// ref [40]), so Step 3 dominates and the parallel time is optimal with
-// high probability.
 package samplesort
 
 import (

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Live records a timeline from a *real* concurrent run: goroutine workers
+// call Add/Mark freely while the run executes, and Now supplies span
+// bounds as seconds on the process's monotonic clock, zeroed at NewLive.
+// The simulators build their timelines single-threaded in virtual time;
+// Live is the bridge that lets wall-clock executors (internal/runtime)
+// feed the same invariant oracle — Check audits a measured run exactly
+// like a simulated one.
+type Live struct {
+	mu    sync.Mutex
+	tl    *Timeline
+	start time.Time
+}
+
+// NewLive starts a live recording for p workers; the clock zero is now.
+func NewLive(p int) *Live {
+	return &Live{tl: New(p), start: time.Now()}
+}
+
+// Now returns the seconds elapsed since NewLive on the monotonic clock —
+// the time base every recorded span must use.
+func (l *Live) Now() float64 { return time.Since(l.start).Seconds() }
+
+// Add records a span for worker w. Safe for concurrent use.
+func (l *Live) Add(w int, s Span) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tl.Add(w, s)
+}
+
+// Mark records a point event. Safe for concurrent use.
+func (l *Live) Mark(m Marker) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tl.Mark(m)
+}
+
+// Timeline returns the recording. Call it only after every worker has
+// stopped adding spans; the returned timeline is the live one, not a copy.
+func (l *Live) Timeline() *Timeline {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tl
+}

@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLiveConcurrentRecording(t *testing.T) {
+	const p = 8
+	l := NewLive(p)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			last := l.Now()
+			for i := 0; i < 50; i++ {
+				now := l.Now()
+				if now < last {
+					t.Errorf("worker %d: clock went backwards (%v after %v)", w, now, last)
+				}
+				l.Add(w, Span{Kind: Compute, Start: last, End: now, Work: 1, Task: i})
+				last = now
+			}
+			l.Mark(Marker{Kind: MarkRecover, Worker: w, Time: last})
+		}(w)
+	}
+	wg.Wait()
+	tl := l.Timeline()
+	if got := tl.UsefulWork(); got != p*50 {
+		t.Fatalf("recorded work %v, want %v", got, p*50)
+	}
+	if len(tl.Marks) != p {
+		t.Fatalf("recorded %d marks, want %d", len(tl.Marks), p)
+	}
+	if vs := Check(tl, nil); len(vs) != 0 {
+		t.Fatalf("live recording breaks invariants: %v", vs)
+	}
+}
