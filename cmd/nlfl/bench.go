@@ -7,15 +7,17 @@ import (
 	"nlfl/internal/results"
 )
 
-// runBench drives the measured-performance harness: tiled kernels and the
-// demand-driven worker-pool runtime across platforms and strategies, every
-// measured volume cross-checked against the paper's closed forms and every
-// runtime trace audited by the invariant oracle, emitting BENCH_kernels.json
-// and BENCH_runtime.json (see docs/PERFORMANCE.md).
+// runBench drives the measured-performance harness: tiled kernels, the
+// demand-driven worker-pool runtime across platforms and strategies, and
+// the bandwidth-modeled link sweep, every measured volume cross-checked
+// against the paper's closed forms and every runtime trace audited by the
+// invariant oracle — the link-capacity check included — emitting
+// BENCH_kernels.json, BENCH_runtime.json and BENCH_link.json (see
+// docs/PERFORMANCE.md).
 func runBench(args []string) error {
 	fs := newFlagSet("bench")
 	seed := fs.Int64("seed", 42, "random seed (identical seeds reproduce identical geometry and volumes)")
-	out := fs.String("out", ".", "directory for BENCH_kernels.json and BENCH_runtime.json")
+	out := fs.String("out", ".", "directory for the BENCH_*.json artifacts")
 	quick := fs.Bool("quick", false, "reduced CI configuration: smaller sizes, fewer platforms")
 	rate := fs.Float64("rate", 0, "token-bucket rate scale in cells/second for a speed-1 worker (0 = default 2e6)")
 	validate := fs.Bool("validate", false, "validate existing BENCH_*.json in -out instead of running")
@@ -26,12 +28,12 @@ func runBench(args []string) error {
 		if err := bench.ValidateFiles(*out); err != nil {
 			return err
 		}
-		fmt.Println("BENCH_kernels.json, BENCH_runtime.json: schema ok, volumes within tolerance, zero violations")
+		fmt.Println("BENCH_kernels.json, BENCH_runtime.json, BENCH_link.json: schema ok, volumes within tolerance, zero violations")
 		return nil
 	}
 
 	cfg := bench.Config{Seed: *seed, Quick: *quick, WorkPerSecond: *rate}
-	kernelsPath, runtimePath, err := bench.Run(cfg, *out)
+	kernelsPath, runtimePath, linkPath, err := bench.Run(cfg, *out)
 	if err != nil {
 		return err
 	}
@@ -57,6 +59,18 @@ func runBench(args []string) error {
 		fmt.Printf("  %-12s %-6s %6d %5d %7d %12.1f %12.1f %8.5f %10.4g\n",
 			e.Platform, e.Strategy, e.N, e.Grid, e.Chunks, e.MeasuredVolume, e.PredictedVolume, e.RelError, e.CellsPerSec)
 	}
-	fmt.Printf("\nwrote %s and %s (all volumes within tolerance, zero trace violations)\n", kernelsPath, runtimePath)
+	lf, err := results.LoadBenchLink(linkPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nlink sweep (one-port master link, double-buffered prefetch):\n")
+	fmt.Printf("  %-12s %-6s %10s %10s %10s %10s %8s\n",
+		"platform", "strat", "bw", "volume", "makespan", "commTime", "overlap")
+	for _, e := range lf.Entries {
+		fmt.Printf("  %-12s %-6s %10.3g %10.1f %10.4f %10.4f %8.3f\n",
+			e.Platform, e.Strategy, e.Bandwidth, e.MeasuredVolume, e.Makespan, e.CommTime, e.OverlapFraction)
+	}
+	fmt.Printf("\nwrote %s, %s and %s (all volumes within tolerance, zero trace violations)\n",
+		kernelsPath, runtimePath, linkPath)
 	return nil
 }

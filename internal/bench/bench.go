@@ -4,8 +4,9 @@
 // strategies, cross-checks every measured communication volume against
 // the paper's closed forms (Comm_hom = 2N·√(Σsᵢ/s₁) and friends), audits
 // every runtime trace with the invariant oracle, and emits the
-// machine-readable BENCH_kernels.json / BENCH_runtime.json records that
-// seed the repository's performance trajectory.
+// machine-readable BENCH_kernels.json / BENCH_runtime.json /
+// BENCH_link.json records that seed the repository's performance
+// trajectory.
 //
 // Geometry — grids, chunk counts, per-strategy communication volumes — is
 // deterministic given the seed; wall-clock timings are not, which is why
@@ -20,10 +21,12 @@ import (
 	"runtime"
 )
 
-// KernelsFileName and RuntimeFileName are the emitted artifact names.
+// KernelsFileName, RuntimeFileName and LinkFileName are the emitted
+// artifact names.
 const (
 	KernelsFileName = "BENCH_kernels.json"
 	RuntimeFileName = "BENCH_runtime.json"
+	LinkFileName    = "BENCH_link.json"
 )
 
 // Config selects the measurement envelope.
@@ -43,6 +46,8 @@ type Config struct {
 func maxProcs() int { return runtime.GOMAXPROCS(0) }
 
 // Paths returns the artifact paths under dir.
-func Paths(dir string) (kernels, runtimePath string) {
-	return filepath.Join(dir, KernelsFileName), filepath.Join(dir, RuntimeFileName)
+func Paths(dir string) (kernels, runtimePath, link string) {
+	return filepath.Join(dir, KernelsFileName),
+		filepath.Join(dir, RuntimeFileName),
+		filepath.Join(dir, LinkFileName)
 }

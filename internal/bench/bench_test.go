@@ -10,7 +10,7 @@ import (
 func TestRunQuickEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	cfg := Config{Seed: 42, Quick: true}
-	kernelsPath, runtimePath, err := Run(cfg, dir)
+	kernelsPath, runtimePath, linkPath, err := Run(cfg, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,6 +36,36 @@ func TestRunQuickEndToEnd(t *testing.T) {
 		if e.Violations != 0 {
 			t.Errorf("%s/%s: %d invariant violations in a passing run", e.Platform, e.Strategy, e.Violations)
 		}
+	}
+
+	lf, err := results.LoadBenchLink(linkPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick config: 1 platform × 2 bandwidths × 3 strategies.
+	if len(lf.Entries) != 6 {
+		t.Fatalf("link file has %d entries, want 6", len(lf.Entries))
+	}
+	minBW := lf.Entries[0].Bandwidth
+	makespans := map[string]float64{}
+	for _, e := range lf.Entries {
+		if e.Violations != 0 {
+			t.Errorf("%s/%s bw=%g: %d invariant violations in a passing run",
+				e.Platform, e.Strategy, e.Bandwidth, e.Violations)
+		}
+		if e.Bandwidth < minBW {
+			minBW = e.Bandwidth
+		}
+	}
+	for _, e := range lf.Entries {
+		if e.Bandwidth == minBW {
+			makespans[e.Strategy] = e.Makespan
+		}
+	}
+	// The headline claim: under the constrained link the lower-volume het
+	// plan finishes first on the heterogeneous platform.
+	if het, hom := makespans["het"], makespans["hom"]; het <= 0 || hom <= 0 || het >= hom {
+		t.Errorf("constrained-bandwidth makespans het=%v hom=%v, want het < hom", het, hom)
 	}
 }
 
@@ -101,6 +131,38 @@ func TestValidateRejectsBrokenFiles(t *testing.T) {
 		f.Entries = []results.RuntimeBenchEntry{e}
 		if err := ValidateRuntime(f); !errors.Is(err, ErrInvalidBench) {
 			t.Errorf("%s: broken entry accepted: %v", name, err)
+		}
+	}
+
+	goodLink := func(strategy string, makespan float64) results.LinkBenchEntry {
+		return results.LinkBenchEntry{
+			Platform: "p", Speeds: []float64{1, 3}, Strategy: strategy, N: 8,
+			Bandwidth: 1e4, MeasuredVolume: 32, PredictedVolume: 32,
+			Makespan: makespan, CommTime: makespan / 2, OverlapFraction: 0.4,
+			LinkUtilization: []float64{0.5, 0.5},
+		}
+	}
+	linkBase := results.LinkBenchFile{
+		Schema: results.BenchLinkSchema, WorkPerSecond: 1e6,
+		Entries: []results.LinkBenchEntry{goodLink("hom", 0.2), goodLink("het", 0.1)},
+	}
+	if err := ValidateLink(linkBase); err != nil {
+		t.Fatalf("well-formed link file rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*results.LinkBenchFile){
+		"wrong-schema":    func(f *results.LinkBenchFile) { f.Schema = "wrong" },
+		"no-entries":      func(f *results.LinkBenchFile) { f.Entries = nil },
+		"zero-bandwidth":  func(f *results.LinkBenchFile) { f.Entries[0].Bandwidth = 0 },
+		"overlap-above-1": func(f *results.LinkBenchFile) { f.Entries[0].OverlapFraction = 1.5 },
+		"util-above-1":    func(f *results.LinkBenchFile) { f.Entries[0].LinkUtilization[0] = 2 },
+		"violations":      func(f *results.LinkBenchFile) { f.Entries[0].Violations = 1 },
+		"het-not-faster":  func(f *results.LinkBenchFile) { f.Entries[1].Makespan = 0.3 },
+	} {
+		f := linkBase
+		f.Entries = []results.LinkBenchEntry{goodLink("hom", 0.2), goodLink("het", 0.1)}
+		mutate(&f)
+		if err := ValidateLink(f); !errors.Is(err, ErrInvalidBench) {
+			t.Errorf("link %s: broken file accepted: %v", name, err)
 		}
 	}
 }

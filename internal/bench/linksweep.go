@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"fmt"
+	goruntime "runtime"
+
+	"nlfl/internal/platform"
+	"nlfl/internal/results"
+	nrt "nlfl/internal/runtime"
+	"nlfl/internal/stats"
+	"nlfl/internal/trace"
+)
+
+// linkN is the problem size of the bandwidth sweep (shared by quick and
+// full so the bandwidth grid below keeps its meaning).
+const linkN = 128
+
+// linkBandwidths returns the swept master-link rates in elements/second.
+// The grid brackets the regime change for linkN=128 at the default work
+// rate: at 2e4 the link is the clear bottleneck (hom's 1024 elements
+// take ~51 ms against sub-ms of aggregate compute), at 2e5 comm and
+// compute are comparable, at 2e6 the runs are compute-bound and the
+// strategies converge — the measured version of the paper's Figure-2
+// volume/makespan trade-off.
+func linkBandwidths(quick bool) []float64 {
+	if quick {
+		return []float64{2e4, 2e6}
+	}
+	return []float64{2e4, 2e5, 2e6}
+}
+
+// linkPlatforms returns the swept speed profiles: heterogeneous ones,
+// because that is where Comm_het < Comm_hom and the constrained link
+// should turn the volume gap into a makespan gap.
+func linkPlatforms(quick bool) []benchPlatform {
+	ps := []benchPlatform{{"het-1357-p4", []float64{1, 3, 5, 7}}}
+	if !quick {
+		ps = append(ps, benchPlatform{"het-1224-p4", []float64{1, 2, 2, 4}})
+	}
+	return ps
+}
+
+// RunLinkSweep executes the three distribution strategies under a
+// bandwidth-modeled master link (double-buffered prefetch on) across the
+// bandwidth grid, audits every trace — the link-capacity invariant
+// included — and gates the paper's headline claim: at the most
+// constrained bandwidth on a heterogeneous platform, the lower-volume
+// het plan must finish strictly faster than hom. Any violation or a
+// het-no-faster outcome is an error, not a data point.
+func RunLinkSweep(cfg Config) (results.LinkBenchFile, error) {
+	rate := cfg.WorkPerSecond
+	if rate <= 0 {
+		rate = 2e6
+	}
+	file := results.LinkBenchFile{
+		Schema:        results.BenchLinkSchema,
+		Seed:          cfg.Seed,
+		Quick:         cfg.Quick,
+		WorkPerSecond: rate,
+		GoVersion:     goruntime.Version(),
+		GOMAXPROCS:    maxProcs(),
+	}
+	r := stats.NewRNG(cfg.Seed)
+	a := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, linkN)
+	b := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, linkN)
+	bandwidths := linkBandwidths(cfg.Quick)
+
+	for _, bp := range linkPlatforms(cfg.Quick) {
+		pl, err := platform.FromSpeeds(bp.speeds)
+		if err != nil {
+			return file, err
+		}
+		for _, bw := range bandwidths {
+			makespans := map[string]float64{}
+			for _, mk := range []struct {
+				name string
+				plan func() (*nrt.StrategyPlan, error)
+			}{
+				{"hom", func() (*nrt.StrategyPlan, error) { return nrt.PlanHom(pl, linkN) }},
+				{"hom/k", func() (*nrt.StrategyPlan, error) { return nrt.PlanHomK(pl, linkN, 0.01, 0) }},
+				{"het", func() (*nrt.StrategyPlan, error) { return nrt.PlanHet(pl, linkN) }},
+			} {
+				plan, err := mk.plan()
+				if err != nil {
+					return file, fmt.Errorf("bench: %s/%s plan: %w", bp.name, mk.name, err)
+				}
+				rep, err := nrt.Run(plan, a, b, nrt.Options{
+					Speeds:        bp.speeds,
+					WorkPerSecond: rate,
+					// A small burst keeps link waits from banking
+					// compute credit, so makespans reflect the modeled
+					// contention instead of hiding it in the throttle.
+					Burst:       rate * 0.0001,
+					Link:        nrt.Link{ElemsPerSecond: bw},
+					Prefetch:    true,
+					VerifyEvery: 1009,
+				})
+				if err != nil {
+					return file, fmt.Errorf("bench: %s/%s bw=%g: %w", bp.name, plan.Strategy, bw, err)
+				}
+				if vs := trace.Check(rep.Trace, rep.Expect(homTolerance)); len(vs) > 0 {
+					return file, fmt.Errorf("bench: %s/%s bw=%g trace violations: %v",
+						bp.name, plan.Strategy, bw, trace.Must(vs))
+				}
+				makespans[plan.Strategy] = rep.Makespan
+				file.Entries = append(file.Entries, results.LinkBenchEntry{
+					Platform: bp.name, Speeds: bp.speeds,
+					Strategy: plan.Strategy, N: linkN, Bandwidth: bw,
+					MeasuredVolume:  rep.DataVolume,
+					PredictedVolume: rep.Predicted,
+					Makespan:        rep.Makespan,
+					CommTime:        rep.CommTime,
+					OverlapFraction: rep.OverlapFraction,
+					LinkUtilization: rep.LinkUtilization,
+					Violations:      0,
+				})
+			}
+			// The no-free-lunch gate: when the link is the bottleneck,
+			// shipping less must mean finishing sooner.
+			if bw == bandwidths[0] {
+				if het, hom := makespans["het"], makespans["hom"]; het >= hom {
+					return file, fmt.Errorf(
+						"bench: %s bw=%g: het makespan %.4fs does not beat hom %.4fs despite lower volume",
+						bp.name, bw, het, hom)
+				}
+			}
+		}
+	}
+	return file, nil
+}
+
+// ValidateLink is the schema check for a BENCH_link payload: right
+// schema id, non-empty entries, finite positive fields, overlap and
+// utilization fractions in range, zero violations, and — for every
+// (platform, bandwidth) pair at the lowest swept bandwidth — the het
+// makespan strictly below hom's.
+func ValidateLink(f results.LinkBenchFile) error {
+	const path = LinkFileName
+	if f.Schema != results.BenchLinkSchema {
+		return invalid(path, "schema %q, want %q", f.Schema, results.BenchLinkSchema)
+	}
+	if len(f.Entries) == 0 {
+		return invalid(path, "no entries")
+	}
+	if !finite(f.WorkPerSecond) || f.WorkPerSecond <= 0 {
+		return invalid(path, "non-positive work rate %v", f.WorkPerSecond)
+	}
+	minBW := f.Entries[0].Bandwidth
+	for _, e := range f.Entries {
+		if e.Bandwidth < minBW {
+			minBW = e.Bandwidth
+		}
+	}
+	type key struct {
+		platform string
+		bw       float64
+	}
+	makespans := map[key]map[string]float64{}
+	for i, e := range f.Entries {
+		id := fmt.Sprintf("entry %d (%s/%s bw=%g)", i, e.Platform, e.Strategy, e.Bandwidth)
+		if e.Platform == "" || e.Strategy == "" || e.N <= 0 {
+			return invalid(path, "%s: missing identity fields", id)
+		}
+		for _, v := range []struct {
+			name  string
+			value float64
+		}{
+			{"bandwidth", e.Bandwidth},
+			{"measuredVolume", e.MeasuredVolume},
+			{"predictedVolume", e.PredictedVolume},
+			{"makespan", e.Makespan},
+			{"commTime", e.CommTime},
+			{"overlapFraction", e.OverlapFraction},
+		} {
+			if !finite(v.value) || v.value < 0 {
+				return invalid(path, "%s: negative or non-finite %s %v", id, v.name, v.value)
+			}
+		}
+		if e.Bandwidth <= 0 || e.MeasuredVolume <= 0 || e.Makespan <= 0 {
+			return invalid(path, "%s: zero bandwidth, volume or makespan", id)
+		}
+		if e.OverlapFraction > 1 {
+			return invalid(path, "%s: overlap fraction %v above 1", id, e.OverlapFraction)
+		}
+		for w, u := range e.LinkUtilization {
+			if !finite(u) || u < 0 || u > 1 {
+				return invalid(path, "%s: worker %d link utilization %v outside [0,1]", id, w, u)
+			}
+		}
+		if e.Violations != 0 {
+			return invalid(path, "%s: %d invariant violations", id, e.Violations)
+		}
+		k := key{e.Platform, e.Bandwidth}
+		if makespans[k] == nil {
+			makespans[k] = map[string]float64{}
+		}
+		makespans[k][e.Strategy] = e.Makespan
+	}
+	for k, ms := range makespans {
+		if k.bw != minBW {
+			continue
+		}
+		het, hasHet := ms["het"]
+		hom, hasHom := ms["hom"]
+		if hasHet && hasHom && het >= hom {
+			return invalid(path, "%s bw=%g: het makespan %v not below hom %v at the constrained bandwidth",
+				k.platform, k.bw, het, hom)
+		}
+	}
+	return nil
+}

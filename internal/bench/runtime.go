@@ -44,11 +44,13 @@ func runtimeN(quick bool) int {
 
 // homTolerance is the acceptance gate for the demand-driven strategies:
 // measured volume within 1% of the closed form (the paper's own
-// imbalance target). hetTolerance is looser because the PERI-SUM
-// rectangles snap to the integer grid worker-by-worker.
+// imbalance target). hetTolerance used to be 5% to absorb PERI-SUM's
+// grid snapping; now that het plans recompute Predicted over the
+// snapped rectangles the measured volume matches exactly, so the het
+// gate is just as tight.
 const (
 	homTolerance = 0.01
-	hetTolerance = 0.05
+	hetTolerance = 0.01
 )
 
 // RunRuntime executes the three distribution strategies on every bench
@@ -146,30 +148,41 @@ func RunRuntime(cfg Config) (results.RuntimeBenchFile, error) {
 	return file, nil
 }
 
-// Run executes the full harness and writes both artifacts into dir,
-// returning their paths. Both payloads are validated before writing — a
-// file that would fail the CI schema gate is never emitted.
-func Run(cfg Config, dir string) (kernelsPath, runtimePath string, err error) {
-	kernelsPath, runtimePath = Paths(dir)
+// Run executes the full harness — kernels, runtime strategies, and the
+// bandwidth-modeled link sweep — and writes the three artifacts into
+// dir, returning their paths. Every payload is validated before writing;
+// a file that would fail the CI schema gate is never emitted.
+func Run(cfg Config, dir string) (kernelsPath, runtimePath, linkPath string, err error) {
+	kernelsPath, runtimePath, linkPath = Paths(dir)
 	kf, err := RunKernels(cfg)
 	if err != nil {
-		return "", "", err
+		return "", "", "", err
 	}
 	if err := ValidateKernels(kf); err != nil {
-		return "", "", err
+		return "", "", "", err
 	}
 	rf, err := RunRuntime(cfg)
 	if err != nil {
-		return "", "", err
+		return "", "", "", err
 	}
 	if err := ValidateRuntime(rf); err != nil {
-		return "", "", err
+		return "", "", "", err
+	}
+	lf, err := RunLinkSweep(cfg)
+	if err != nil {
+		return "", "", "", err
+	}
+	if err := ValidateLink(lf); err != nil {
+		return "", "", "", err
 	}
 	if err := results.SaveBenchKernels(kernelsPath, kf); err != nil {
-		return "", "", err
+		return "", "", "", err
 	}
 	if err := results.SaveBenchRuntime(runtimePath, rf); err != nil {
-		return "", "", err
+		return "", "", "", err
 	}
-	return kernelsPath, runtimePath, nil
+	if err := results.SaveBenchLink(linkPath, lf); err != nil {
+		return "", "", "", err
+	}
+	return kernelsPath, runtimePath, linkPath, nil
 }

@@ -112,10 +112,10 @@ func ValidateRuntime(f results.RuntimeBenchFile) error {
 	return nil
 }
 
-// ValidateFiles loads and validates both artifacts under dir — the CI
-// bench-smoke gate.
+// ValidateFiles loads and validates all three artifacts under dir — the
+// CI bench-smoke gate.
 func ValidateFiles(dir string) error {
-	kernelsPath, runtimePath := Paths(dir)
+	kernelsPath, runtimePath, linkPath := Paths(dir)
 	kf, err := results.LoadBenchKernels(kernelsPath)
 	if err != nil {
 		return err
@@ -127,5 +127,12 @@ func ValidateFiles(dir string) error {
 	if err != nil {
 		return err
 	}
-	return ValidateRuntime(rf)
+	if err := ValidateRuntime(rf); err != nil {
+		return err
+	}
+	lf, err := results.LoadBenchLink(linkPath)
+	if err != nil {
+		return err
+	}
+	return ValidateLink(lf)
 }

@@ -12,6 +12,7 @@ import (
 const (
 	BenchKernelsSchema = "nlfl/bench-kernels/v1"
 	BenchRuntimeSchema = "nlfl/bench-runtime/v1"
+	BenchLinkSchema    = "nlfl/bench-link/v1"
 )
 
 // KernelBenchEntry is one measured kernel configuration.
@@ -97,6 +98,61 @@ type RuntimeBenchFile struct {
 	GoVersion     string              `json:"goVersion"`
 	GOMAXPROCS    int                 `json:"gomaxprocs"`
 	Entries       []RuntimeBenchEntry `json:"entries"`
+}
+
+// LinkBenchEntry is one strategy execution under a bandwidth-modeled
+// master link — the measured volume-vs-makespan trade-off of Figure 2.
+type LinkBenchEntry struct {
+	// Platform names the speed profile, Speeds lists it.
+	Platform string    `json:"platform"`
+	Speeds   []float64 `json:"speeds"`
+	// Strategy is "hom", "hom/k" or "het"; N the vector length.
+	Strategy string `json:"strategy"`
+	N        int    `json:"n"`
+	// Bandwidth is the master link's aggregate rate in elements/second.
+	Bandwidth float64 `json:"bandwidth"`
+	// MeasuredVolume is the elements shipped, PredictedVolume the
+	// strategy's closed form over the executed plan.
+	MeasuredVolume  float64 `json:"measuredVolume"`
+	PredictedVolume float64 `json:"predictedVolume"`
+	// Makespan is the measured wall-clock seconds; CommTime the summed
+	// modeled transfer seconds across workers.
+	Makespan float64 `json:"makespan"`
+	CommTime float64 `json:"commTime"`
+	// OverlapFraction is the share of comm time hidden under compute by
+	// double-buffered prefetch.
+	OverlapFraction float64 `json:"overlapFraction"`
+	// LinkUtilization is each worker's comm-busy fraction of the run.
+	LinkUtilization []float64 `json:"linkUtilization"`
+	// Violations counts invariant-oracle findings, the link-capacity
+	// invariant included; 0 in any valid file.
+	Violations int `json:"violations"`
+}
+
+// LinkBenchFile is the BENCH_link.json payload: the bandwidth sweep
+// showing lower communication volume becoming lower makespan once the
+// master link is the bottleneck.
+type LinkBenchFile struct {
+	Schema string `json:"schema"`
+	Seed   int64  `json:"seed"`
+	Quick  bool   `json:"quick"`
+	// WorkPerSecond is the token-bucket rate scale of every run.
+	WorkPerSecond float64          `json:"workPerSecond"`
+	GoVersion     string           `json:"goVersion"`
+	GOMAXPROCS    int              `json:"gomaxprocs"`
+	Entries       []LinkBenchEntry `json:"entries"`
+}
+
+// SaveBenchLink writes the link sweep file as indented JSON.
+func SaveBenchLink(path string, f LinkBenchFile) error {
+	return saveJSON(path, f)
+}
+
+// LoadBenchLink reads a link sweep file.
+func LoadBenchLink(path string) (LinkBenchFile, error) {
+	var f LinkBenchFile
+	err := loadJSON(path, &f)
+	return f, err
 }
 
 // SaveBenchKernels writes the kernels bench file as indented JSON.

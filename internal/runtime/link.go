@@ -1,0 +1,111 @@
+package runtime
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Link configures the bandwidth-modeled master link. The paper's
+// Section 4 minimises communication *volume* because the master's
+// outgoing links are the contended resource; this model makes that
+// volume cost wall-clock time, in the one-port / bounded-bandwidth
+// tradition of linear-network DLT (Gallet–Robert–Vivien) and shared-link
+// network scheduling (Wu–Cao–Robertazzi). The zero value disables the
+// model: chunk inputs are copied at memcpy speed, as before.
+type Link struct {
+	// ElemsPerSecond is the aggregate bandwidth of the master's outgoing
+	// link in vector elements per second, shared one-port style by all
+	// workers: transfers serialize on the master and each occupies the
+	// link for Data/min(ElemsPerSecond, PerWorker[w]) seconds. A value
+	// ≤ 0 leaves the shared link unconstrained.
+	ElemsPerSecond float64
+	// PerWorker optionally caps each worker's own incoming link
+	// (elements per second; 0 or a missing entry means uncapped). When
+	// set, it must have one entry per worker.
+	PerWorker []float64
+}
+
+// enabled reports whether any bandwidth constraint is configured.
+func (l Link) enabled() bool {
+	if l.ElemsPerSecond > 0 {
+		return true
+	}
+	for _, r := range l.PerWorker {
+		if r > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// masterLink books transfers onto the modeled network. It keeps a
+// next-free instant for the shared master port and for each worker's own
+// link; a booking starts at the latest of "now" and the relevant
+// next-free instants, lasts Data/bottleneck-rate, and pushes the
+// next-free instants to its end. Workers sleep until their booked window
+// has elapsed, so measured makespans include the modeled transfer time
+// and recorded Comm spans tile the link timeline exactly — which is what
+// lets trace.Check enforce the link-capacity invariant tightly.
+type masterLink struct {
+	mu    sync.Mutex
+	agg   float64   // shared-port rate (elements/s; ≤0 = unconstrained)
+	per   []float64 // per-worker rates (elements/s; ≤0 = uncapped)
+	free  float64   // live-seconds instant the shared port is next free
+	freeW []float64 // live-seconds instants each worker link is next free
+	now   func() float64
+}
+
+// newMasterLink builds the booking state for the configured link; nil
+// when the model is disabled.
+func newMasterLink(cfg Link, workers int, now func() float64) *masterLink {
+	if !cfg.enabled() {
+		return nil
+	}
+	per := make([]float64, workers)
+	copy(per, cfg.PerWorker)
+	return &masterLink{agg: cfg.ElemsPerSecond, per: per, freeW: make([]float64, workers), now: now}
+}
+
+// rateFor returns the bottleneck rate of a transfer to worker w
+// (+Inf when neither the shared port nor the worker's link is capped).
+func (ml *masterLink) rateFor(w int) float64 {
+	r := math.Inf(1)
+	if ml.agg > 0 {
+		r = ml.agg
+	}
+	if p := ml.per[w]; p > 0 && p < r {
+		r = p
+	}
+	return r
+}
+
+// book reserves the next window of elems elements for worker w and
+// returns it in live-clock seconds. It never sleeps; pair it with wait.
+func (ml *masterLink) book(w int, elems float64) (start, end float64) {
+	dur := elems / ml.rateFor(w)
+	ml.mu.Lock()
+	defer ml.mu.Unlock()
+	start = ml.now()
+	if ml.agg > 0 && ml.free > start {
+		start = ml.free
+	}
+	if ml.per[w] > 0 && ml.freeW[w] > start {
+		start = ml.freeW[w]
+	}
+	end = start + dur
+	if ml.agg > 0 {
+		ml.free = end
+	}
+	if ml.per[w] > 0 {
+		ml.freeW[w] = end
+	}
+	return start, end
+}
+
+// wait sleeps until the booked window's end has passed on the live clock.
+func (ml *masterLink) wait(end float64) {
+	if d := end - ml.now(); d > 0 {
+		time.Sleep(time.Duration(d * float64(time.Second)))
+	}
+}

@@ -79,14 +79,32 @@ func GridChunks(n, grid int) ([]Chunk, error) {
 	return chunks, nil
 }
 
+// clampGrid limits a block grid to the n×n domain: on a platform so
+// heterogeneous that round(k·√(Σsᵢ/s₁)) exceeds n, the finest realizable
+// grid is one chunk per cell. Returns the clamped grid and whether
+// clamping happened (in which case the closed-form volume no longer
+// applies and the caller must predict the realized-grid volume 2·N·g).
+func clampGrid(grid, n int) (int, bool) {
+	if grid > n {
+		return n, true
+	}
+	return grid, false
+}
+
 // PlanHom builds the Homogeneous Blocks plan: identical ownerless blocks
 // sized for the slowest worker, claimed demand-driven. The prediction is
-// the paper's closed form Comm_hom = 2N·√(Σsᵢ/s₁).
+// the paper's closed form Comm_hom = 2N·√(Σsᵢ/s₁) — unless the grid had
+// to be clamped to the domain side, in which case it is the realized
+// grid's exact volume 2·N·grid.
 func PlanHom(pl *platform.Platform, n int) (*StrategyPlan, error) {
-	grid := GridSide(pl)
+	grid, clamped := clampGrid(GridSide(pl), n)
 	chunks, err := GridChunks(n, grid)
 	if err != nil {
 		return nil, err
+	}
+	predicted := outer.Commhom(pl, float64(n)).Volume
+	if clamped {
+		predicted = float64(2 * n * grid)
 	}
 	return &StrategyPlan{
 		Strategy:  "hom",
@@ -94,7 +112,7 @@ func PlanHom(pl *platform.Platform, n int) (*StrategyPlan, error) {
 		Chunks:    chunks,
 		Grid:      grid,
 		K:         1,
-		Predicted: outer.Commhom(pl, float64(n)).Volume,
+		Predicted: predicted,
 	}, nil
 }
 
@@ -112,9 +130,14 @@ func PlanHomK(pl *platform.Platform, n int, eps float64, maxK int) (*StrategyPla
 	if grid < 1 {
 		grid = 1
 	}
+	grid, clamped := clampGrid(grid, n)
 	chunks, err := GridChunks(n, grid)
 	if err != nil {
 		return nil, err
+	}
+	predicted := res.Volume
+	if clamped {
+		predicted = float64(2 * n * grid)
 	}
 	return &StrategyPlan{
 		Strategy:  "hom/k",
@@ -122,15 +145,17 @@ func PlanHomK(pl *platform.Platform, n int, eps float64, maxK int) (*StrategyPla
 		Chunks:    chunks,
 		Grid:      grid,
 		K:         res.K,
-		Predicted: res.Volume,
+		Predicted: predicted,
 	}, nil
 }
 
 // PlanHet builds the Heterogeneous Blocks plan: one owned chunk per worker
 // from the PERI-SUM rectangle partition, snapped to the integer grid. The
-// prediction is the plan's Σ(wᵢ+hᵢ)·N volume (= Comm_het). A rectangle
-// that collapses on the integer grid surfaces as core's typed
-// degenerate-rect error.
+// prediction is Σ(wᵢ+hᵢ) over the *snapped* rectangles — what this plan
+// actually ships — not the continuous plan's Σ(wᵢ+hᵢ)·N, which differs
+// by the integer-grid rounding and would make the trace oracle's exact
+// bound miss what executes. A rectangle that collapses on the integer
+// grid surfaces as core's typed degenerate-rect error.
 func PlanHet(pl *platform.Platform, n int) (*StrategyPlan, error) {
 	plan, err := core.PlanOuterProduct(pl, float64(n))
 	if err != nil {
@@ -141,6 +166,7 @@ func PlanHet(pl *platform.Platform, n int) (*StrategyPlan, error) {
 		return nil, err
 	}
 	chunks := make([]Chunk, len(rects))
+	predicted := 0.0
 	for i, r := range rects {
 		chunks[i] = Chunk{
 			Task:  i,
@@ -148,12 +174,13 @@ func PlanHet(pl *platform.Platform, n int) (*StrategyPlan, error) {
 			ColLo: r.ColLo, ColHi: r.ColHi,
 			Owner: i,
 		}
+		predicted += float64(chunks[i].Data())
 	}
 	return &StrategyPlan{
 		Strategy:  "het",
 		N:         n,
 		Chunks:    chunks,
 		K:         0,
-		Predicted: plan.TotalVolume,
+		Predicted: predicted,
 	}, nil
 }

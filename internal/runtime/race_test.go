@@ -1,0 +1,85 @@
+// Concurrency tests aimed at the race detector (CI runs the whole suite
+// under `go test -race`): the sharded queue's stealing path and the
+// prefetch goroutines feeding trace.Live.
+package runtime
+
+import (
+	"sync"
+	"testing"
+
+	"nlfl/internal/stats"
+	"nlfl/internal/trace"
+)
+
+// TestWorkQueueConcurrentPop drains one sharded queue from many
+// goroutines at once and checks every chunk is delivered exactly once —
+// the stealing path is only safe if shard locking is right.
+func TestWorkQueueConcurrentPop(t *testing.T) {
+	const (
+		workers = 8
+		grid    = 16 // 256 ownerless chunks
+	)
+	chunks, err := GridChunks(64, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := newWorkQueue(chunks, workers, 4)
+
+	var mu sync.Mutex
+	seen := make(map[int]int, len(chunks))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				c, ok := q.pop(w)
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[c.Task]++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if len(seen) != len(chunks) {
+		t.Fatalf("drained %d distinct chunks, want %d", len(seen), len(chunks))
+	}
+	for task, count := range seen {
+		if count != 1 {
+			t.Errorf("chunk %d delivered %d times", task, count)
+		}
+	}
+}
+
+// TestRunPrefetchConcurrency runs the full pool with prefetch and the
+// bandwidth model on — transfer goroutines racing the compute loop into
+// trace.Live — and audits the result. Meaningful under -race.
+func TestRunPrefetchConcurrency(t *testing.T) {
+	const n = 64
+	r := stats.NewRNG(31)
+	a := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, n)
+	b := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, n)
+	chunks, err := GridChunks(n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &StrategyPlan{Strategy: "hom", N: n, Chunks: chunks, Grid: 8, K: 1,
+		Predicted: float64(2 * n * 8)}
+	rep, err := Run(plan, a, b, Options{
+		Speeds:        []float64{1, 2, 3, 4},
+		WorkPerSecond: 2e6,
+		Link:          Link{ElemsPerSecond: 2e5},
+		Prefetch:      true,
+		VerifyEvery:   11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := trace.Check(rep.Trace, rep.Expect(1e-6)); len(vs) != 0 {
+		t.Errorf("trace violations: %v", vs)
+	}
+}

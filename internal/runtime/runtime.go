@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"nlfl/internal/matmul"
@@ -26,6 +27,14 @@ type Options struct {
 	// VerifyEvery, when positive, spot-checks every VerifyEvery-th output
 	// cell against a[i]·b[j] after the run and fails the run on mismatch.
 	VerifyEvery int
+	// Link models the master's outgoing bandwidth (see Link); the zero
+	// value ships chunk inputs at memcpy speed.
+	Link Link
+	// Prefetch enables double-buffered prefetch: while a worker computes
+	// one chunk it claims and transfers the next, overlapping the
+	// transfer with the current chunk's compute. The overlapped fraction
+	// is reported in Report.OverlapFraction.
+	Prefetch bool
 }
 
 // Report is the outcome of one measured run.
@@ -51,6 +60,23 @@ type Report struct {
 	// worker — the measured footprint behind the paper's Figure 2.
 	PerWorkerData  []float64
 	PerWorkerCells []float64
+	// CommTime is the total measured communication seconds summed over
+	// workers; PerWorkerCommTime splits it by worker. Under the link
+	// model these are the modeled transfer windows, so CommTime ≈
+	// DataVolume/bandwidth when the shared port is the bottleneck.
+	CommTime          float64
+	PerWorkerCommTime []float64
+	// OverlapFraction is the fraction of communication time hidden under
+	// the same worker's compute spans — ~0 without prefetch, approaching
+	// 1 when transfers are fully pipelined behind compute.
+	OverlapFraction float64
+	// LinkUtilization is each worker's comm-busy fraction of the
+	// makespan — how long its incoming link was occupied.
+	LinkUtilization []float64
+	// LinkCapacity echoes Options.Link.ElemsPerSecond (0 when the shared
+	// port was unconstrained); Expect threads it to the trace oracle's
+	// link-capacity invariant.
+	LinkCapacity float64
 	// Out is the computed product.
 	Out *matmul.Matrix
 	// Trace is the run's audited timeline (wall-clock seconds).
@@ -59,7 +85,9 @@ type Report struct {
 
 // Expect returns the invariant-oracle expectations for the run: exact
 // work conservation (every cell computed once), the exact shipping ledger,
-// and the strategy's analytic volume as an exact bound within relTol.
+// the strategy's analytic volume as an exact bound within relTol, and —
+// when the run modeled a shared master link — the link-capacity
+// invariant at that bandwidth.
 func (r *Report) Expect(relTol float64) *trace.Expect {
 	nn := float64(r.N) * float64(r.N)
 	return &trace.Expect{
@@ -71,16 +99,28 @@ func (r *Report) Expect(relTol float64) *trace.Expect {
 		Bound:         r.Predicted,
 		BoundKind:     trace.BoundExact,
 		BoundName:     "Comm_" + r.Strategy,
+		LinkCapacity:  r.LinkCapacity,
 		Tol:           relTol,
 	}
 }
 
+// staged is one chunk whose inputs have been shipped into worker-local
+// buffers (its Comm span is recorded by fetch at shipping time).
+type staged struct {
+	c          Chunk
+	aBuf, bBuf []float64
+}
+
 // Run executes the plan on real vectors: len(Speeds) goroutine workers
 // pull chunks from the sharded queue, ship each chunk's a̅/b̅ intervals
-// into worker-local buffers (the Comm span), pay the chunk's area to their
-// token bucket and fill the output rectangle through the tiled kernel (the
-// Compute span). The returned report carries the product, the measured
-// per-worker traffic, and the trace.Live timeline of the run.
+// into worker-local buffers (the Comm span — paced by the bandwidth
+// model when Options.Link is set, raw memcpy otherwise), pay the chunk's
+// area to their token bucket and fill the output rectangle through the
+// tiled kernel (the Compute span). With Options.Prefetch each worker
+// double-buffers: the next chunk's transfer runs while the current chunk
+// computes. The returned report carries the product, the measured
+// per-worker traffic and comm time, the comm/compute overlap fraction,
+// and the trace.Live timeline of the run.
 func Run(plan *StrategyPlan, a, b []float64, opts Options) (*Report, error) {
 	n := plan.N
 	if len(a) != n || len(b) != n {
@@ -98,7 +138,9 @@ func Run(plan *StrategyPlan, a, b []float64, opts Options) (*Report, error) {
 			return nil, fmt.Errorf("runtime: worker %d has non-positive speed %v", i, s)
 		}
 	}
-	totalCells := 0
+	if lp := len(opts.Link.PerWorker); lp != 0 && lp != p {
+		return nil, fmt.Errorf("runtime: %d per-worker link rates for %d workers", lp, p)
+	}
 	for _, c := range plan.Chunks {
 		if c.RowLo < 0 || c.ColLo < 0 || c.RowHi > n || c.ColHi > n || c.Cells() <= 0 {
 			return nil, fmt.Errorf("runtime: chunk %d has invalid bounds rows[%d,%d) cols[%d,%d)", c.Task, c.RowLo, c.RowHi, c.ColLo, c.ColHi)
@@ -106,11 +148,13 @@ func Run(plan *StrategyPlan, a, b []float64, opts Options) (*Report, error) {
 		if c.Owner >= p {
 			return nil, fmt.Errorf("runtime: chunk %d owned by worker %d of %d", c.Task, c.Owner, p)
 		}
-		totalCells += c.Cells()
 	}
-	if totalCells != n*n {
-		return nil, fmt.Errorf("runtime: chunks cover %d cells, domain has %d", totalCells, n*n)
+	// Σcells == n² alone is satisfiable by overlaps plus a gap of the
+	// same area; require an exact tiling.
+	if err := checkTiling(n, plan.Chunks); err != nil {
+		return nil, err
 	}
+	totalCells := n * n
 	rate := opts.WorkPerSecond
 	if rate <= 0 {
 		rate = 2e6
@@ -123,6 +167,7 @@ func Run(plan *StrategyPlan, a, b []float64, opts Options) (*Report, error) {
 	out := matmul.New(n, n)
 	queue := newWorkQueue(plan.Chunks, p, shards)
 	live := trace.NewLive(p)
+	link := newMasterLink(opts.Link, p, live.Now)
 	perData := make([]float64, p)
 	perCells := make([]float64, p)
 
@@ -132,32 +177,78 @@ func Run(plan *StrategyPlan, a, b []float64, opts Options) (*Report, error) {
 		go func(w int) {
 			defer wg.Done()
 			bucket := newTokenBucket(opts.Speeds[w]*rate, opts.Burst)
-			var aBuf, bBuf []float64
-			for {
-				c, ok := queue.pop(w)
-				if !ok {
-					return
+			var bufs [2]struct{ a, b []float64 }
+
+			// fetch ships the chunk's inputs into buffer slot `slot`:
+			// the only elements this worker may read are the copies it
+			// just received. Under the link model the Comm span is the
+			// booked transfer window; otherwise it is the measured
+			// memcpy. Calls for one worker are strictly sequential
+			// (double-buffering keeps at most one in flight), so the
+			// per-worker ledgers need no locking.
+			fetch := func(c Chunk, slot int) staged {
+				bb := &bufs[slot]
+				var t0, t1 float64
+				if link != nil && !math.IsInf(link.rateFor(w), 1) {
+					t0, t1 = link.book(w, float64(c.Data()))
+					bb.a = append(bb.a[:0], a[c.RowLo:c.RowHi]...)
+					bb.b = append(bb.b[:0], b[c.ColLo:c.ColHi]...)
+					link.wait(t1)
+				} else {
+					t0 = live.Now()
+					bb.a = append(bb.a[:0], a[c.RowLo:c.RowHi]...)
+					bb.b = append(bb.b[:0], b[c.ColLo:c.ColHi]...)
+					t1 = live.Now()
 				}
-				// Ship the chunk's inputs: the only elements this worker
-				// may read are the copies it just received.
-				t0 := live.Now()
-				aBuf = append(aBuf[:0], a[c.RowLo:c.RowHi]...)
-				bBuf = append(bBuf[:0], b[c.ColLo:c.ColHi]...)
-				t1 := live.Now()
 				live.Add(w, trace.Span{Kind: trace.Comm, Start: t0, End: t1,
 					Data: float64(c.Data()), Task: c.Task})
+				perData[w] += float64(c.Data())
+				return staged{c: c, aBuf: bb.a, bBuf: bb.b}
+			}
+
+			c, ok := queue.pop(w)
+			if !ok {
+				return
+			}
+			cur := 0
+			s := fetch(c, cur)
+			for {
+				// Claim and start shipping the next chunk before
+				// computing the current one, so the transfer hides
+				// under the compute span.
+				var pre chan staged
+				var next Chunk
+				var more bool
+				if opts.Prefetch {
+					if next, more = queue.pop(w); more {
+						pre = make(chan staged, 1)
+						go func(c Chunk, slot int) { pre <- fetch(c, slot) }(next, 1-cur)
+					}
+				}
 
 				// Compute: the token bucket stretches the span to the
 				// duration a speed-sᵢ processor would need.
-				cells := float64(c.Cells())
+				cells := float64(s.c.Cells())
+				t0 := live.Now()
 				bucket.acquire(cells)
-				fillChunk(out, aBuf, bBuf, c)
-				t2 := live.Now()
-				live.Add(w, trace.Span{Kind: trace.Compute, Start: t1, End: t2,
-					Work: cells, Task: c.Task})
-
-				perData[w] += float64(c.Data())
+				fillChunk(out, s.aBuf, s.bBuf, s.c)
+				t1 := live.Now()
+				live.Add(w, trace.Span{Kind: trace.Compute, Start: t0, End: t1,
+					Work: cells, Task: s.c.Task})
 				perCells[w] += cells
+
+				if opts.Prefetch {
+					if !more {
+						return
+					}
+					s = <-pre
+					cur = 1 - cur
+				} else {
+					if c, ok = queue.pop(w); !ok {
+						return
+					}
+					s = fetch(c, cur)
+				}
 			}
 		}(w)
 	}
@@ -165,22 +256,38 @@ func Run(plan *StrategyPlan, a, b []float64, opts Options) (*Report, error) {
 
 	tl := live.Timeline()
 	rep := &Report{
-		Strategy:       plan.Strategy,
-		N:              n,
-		Grid:           plan.Grid,
-		K:              plan.K,
-		Workers:        p,
-		Chunks:         len(plan.Chunks),
-		Predicted:      plan.Predicted,
-		WorkCells:      float64(totalCells),
-		Makespan:       tl.Makespan,
-		PerWorkerData:  perData,
-		PerWorkerCells: perCells,
-		Out:            out,
-		Trace:          tl,
+		Strategy:          plan.Strategy,
+		N:                 n,
+		Grid:              plan.Grid,
+		K:                 plan.K,
+		Workers:           p,
+		Chunks:            len(plan.Chunks),
+		Predicted:         plan.Predicted,
+		WorkCells:         float64(totalCells),
+		Makespan:          tl.Makespan,
+		PerWorkerData:     perData,
+		PerWorkerCells:    perCells,
+		PerWorkerCommTime: tl.CommTimes(),
+		LinkUtilization:   make([]float64, p),
+		LinkCapacity:      math.Max(opts.Link.ElemsPerSecond, 0),
+		Out:               out,
+		Trace:             tl,
 	}
 	for _, d := range perData {
 		rep.DataVolume += d
+	}
+	overlap := 0.0
+	for w, ct := range rep.PerWorkerCommTime {
+		rep.CommTime += ct
+		if tl.Makespan > 0 {
+			rep.LinkUtilization[w] = ct / tl.Makespan
+		}
+	}
+	for _, ov := range tl.OverlapTimes() {
+		overlap += ov
+	}
+	if rep.CommTime > 0 {
+		rep.OverlapFraction = overlap / rep.CommTime
 	}
 	if opts.VerifyEvery > 0 {
 		for idx := 0; idx < n*n; idx += opts.VerifyEvery {

@@ -1,0 +1,98 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+)
+
+// tilingBitmapMaxCells bounds the coverage bitmap to 8 MiB (1 bit per
+// cell); larger domains fall back to the row-band interval sweep.
+const tilingBitmapMaxCells = 1 << 26
+
+// checkTiling verifies that the chunks tile the n×n domain exactly —
+// every cell covered once, no overlaps, no gaps. A plain Σcells == n²
+// check is satisfiable by overlapping chunks plus a gap of the same
+// area; this is the exact check behind Run's plan validation. Bounds are
+// assumed already validated (0 ≤ lo ≤ hi ≤ n, positive area).
+func checkTiling(n int, chunks []Chunk) error {
+	if n*n <= tilingBitmapMaxCells {
+		return checkTilingBitmap(n, chunks)
+	}
+	return checkTilingBands(n, chunks)
+}
+
+// checkTilingBitmap marks every covered cell in a bitset and reports the
+// first double-covered or uncovered cell.
+func checkTilingBitmap(n int, chunks []Chunk) error {
+	words := (n*n + 63) / 64
+	bits := make([]uint64, words)
+	for _, c := range chunks {
+		for i := c.RowLo; i < c.RowHi; i++ {
+			for j := c.ColLo; j < c.ColHi; j++ {
+				idx := i*n + j
+				w, b := idx/64, uint64(1)<<(idx%64)
+				if bits[w]&b != 0 {
+					return fmt.Errorf("runtime: cell (%d,%d) covered twice (chunk %d overlaps an earlier chunk)", i, j, c.Task)
+				}
+				bits[w] |= b
+			}
+		}
+	}
+	for idx := 0; idx < n*n; idx++ {
+		if bits[idx/64]&(uint64(1)<<(idx%64)) == 0 {
+			return fmt.Errorf("runtime: cell (%d,%d) uncovered (chunks leave a gap)", idx/n, idx%n)
+		}
+	}
+	return nil
+}
+
+// checkTilingBands cuts the domain into horizontal bands at every chunk
+// row boundary; within a band each spanning chunk contributes a column
+// interval, and the intervals must cover [0,n) exactly once. Rectangles
+// either span a band fully or miss it entirely, so this is exact.
+func checkTilingBands(n int, chunks []Chunk) error {
+	bounds := make([]int, 0, 2*len(chunks)+2)
+	bounds = append(bounds, 0, n)
+	for _, c := range chunks {
+		bounds = append(bounds, c.RowLo, c.RowHi)
+	}
+	sort.Ints(bounds)
+	bounds = dedupInts(bounds)
+
+	type iv struct{ lo, hi, task int }
+	for bi := 0; bi+1 < len(bounds); bi++ {
+		r0, r1 := bounds[bi], bounds[bi+1]
+		var ivs []iv
+		for _, c := range chunks {
+			if c.RowLo <= r0 && c.RowHi >= r1 {
+				ivs = append(ivs, iv{c.ColLo, c.ColHi, c.Task})
+			}
+		}
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+		at := 0
+		for _, v := range ivs {
+			if v.lo > at {
+				return fmt.Errorf("runtime: rows [%d,%d) leave columns [%d,%d) uncovered", r0, r1, at, v.lo)
+			}
+			if v.lo < at {
+				return fmt.Errorf("runtime: chunk %d overlaps columns [%d,%d) in rows [%d,%d)", v.task, v.lo, at, r0, r1)
+			}
+			at = v.hi
+		}
+		if at != n {
+			return fmt.Errorf("runtime: rows [%d,%d) leave columns [%d,%d) uncovered", r0, r1, at, n)
+		}
+	}
+	return nil
+}
+
+// dedupInts removes adjacent duplicates from a sorted slice, in place.
+func dedupInts(xs []int) []int {
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

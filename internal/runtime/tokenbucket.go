@@ -1,6 +1,9 @@
 package runtime
 
-import "time"
+import (
+	"math"
+	"time"
+)
 
 // tokenBucket throttles one worker goroutine to a configured work rate.
 // Tokens are cell updates; the bucket refills continuously at `rate`
@@ -41,6 +44,15 @@ func (tb *tokenBucket) acquire(n float64) {
 		now = time.Now()
 		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
 		tb.last = now
+		// The post-sleep refill must honor the burst cap too: the OS
+		// routinely oversleeps, and without this clamp the overshoot
+		// banks as unbounded credit that lets the worker burst far
+		// ahead of its configured rate on subsequent acquires. Credit
+		// beyond max(n, burst) is forfeited — a worker can be late,
+		// never early.
+		if lim := math.Max(n, tb.burst); tb.tokens > lim {
+			tb.tokens = lim
+		}
 	}
 	tb.tokens -= n
 }

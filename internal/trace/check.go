@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -34,6 +35,11 @@ const (
 	// ImbalanceExceeded is a compute-time imbalance above the target
 	// (Section 4.3's ≤1% rule for Comm_hom/k).
 	ImbalanceExceeded
+	// LinkCapacityExceeded is an instant at which the summed transfer
+	// rate of the open comm spans exceeds the master link's aggregate
+	// bandwidth — a run shipping data faster than the modeled network
+	// admits.
+	LinkCapacityExceeded
 )
 
 // String implements fmt.Stringer.
@@ -53,6 +59,8 @@ func (k ViolationKind) String() string {
 		return "comm-volume"
 	case ImbalanceExceeded:
 		return "imbalance"
+	case LinkCapacityExceeded:
+		return "link-capacity"
 	default:
 		return fmt.Sprintf("violation(%d)", int(k))
 	}
@@ -137,6 +145,14 @@ type Expect struct {
 	// ImbalanceTarget, when positive, caps the compute-time imbalance
 	// (the paper's Comm_hom/k rule uses 0.01).
 	ImbalanceTarget float64
+
+	// LinkCapacity, when positive, is the aggregate master-link bandwidth
+	// in data units per second. Check sweeps every comm span (each open
+	// span contributing its average rate Data/Duration) and flags any
+	// instant whose summed rate exceeds the capacity — the one-port /
+	// bounded-bandwidth invariant. A zero-duration span carrying data is
+	// an infinite-rate transfer and always violates.
+	LinkCapacity float64
 
 	// Tol is the relative tolerance for every numeric comparison
 	// (default 1e-9).
@@ -270,6 +286,55 @@ func Check(tl *Timeline, exp *Expect) []Violation {
 			vs = append(vs, Violation{Kind: ImbalanceExceeded, Worker: -1, Task: -1,
 				Detail: fmt.Sprintf("compute imbalance %v above target %v", e, exp.ImbalanceTarget)})
 		}
+	}
+	if exp.LinkCapacity > 0 {
+		vs = append(vs, checkLinkCapacity(tl, exp.LinkCapacity, tol)...)
+	}
+	return vs
+}
+
+// checkLinkCapacity sweeps the comm spans of every worker and verifies
+// that at no instant the summed average transfer rate exceeds the
+// aggregate link bandwidth. Each span with positive duration contributes
+// Data/Duration over [Start, End); span boundaries that touch exactly do
+// not overlap (ends are processed before starts at equal times).
+func checkLinkCapacity(tl *Timeline, capacity, tol float64) []Violation {
+	var vs []Violation
+	type event struct {
+		t    float64
+		rate float64 // positive at span start, negative at span end
+	}
+	var evs []event
+	for w, spans := range tl.Spans {
+		for i, s := range spans {
+			if s.Kind != Comm || s.Data <= 0 {
+				continue
+			}
+			if s.Duration() <= 0 {
+				vs = append(vs, Violation{Kind: LinkCapacityExceeded, Worker: w, Task: s.Task,
+					Detail: fmt.Sprintf("span %d ships %v data units in zero time (infinite rate, capacity %v)", i, s.Data, capacity)})
+				continue
+			}
+			r := s.Data / s.Duration()
+			evs = append(evs, event{s.Start, r}, event{s.End, -r})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].rate < evs[j].rate // ends before starts at equal times
+	})
+	run, worst, worstAt := 0.0, 0.0, 0.0
+	for _, e := range evs {
+		run += e.rate
+		if run > worst {
+			worst, worstAt = run, e.t
+		}
+	}
+	if worst > capacity*(1+tol) {
+		vs = append(vs, Violation{Kind: LinkCapacityExceeded, Worker: -1, Task: -1,
+			Detail: fmt.Sprintf("aggregate transfer rate peaks at %v (t=%v), above link capacity %v", worst, worstAt, capacity)})
 	}
 	return vs
 }

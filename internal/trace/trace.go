@@ -20,6 +20,7 @@ package trace
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"nlfl/internal/dessim"
 )
@@ -220,6 +221,80 @@ func (tl *Timeline) workWith(k SpanKind, o Outcome) float64 {
 		}
 	}
 	return v
+}
+
+// CommTimes returns each worker's total communication duration (all
+// outcomes — the link was busy either way).
+func (tl *Timeline) CommTimes() []float64 {
+	out := make([]float64, len(tl.Spans))
+	for w, spans := range tl.Spans {
+		for _, s := range spans {
+			if s.Kind == Comm {
+				out[w] += s.Duration()
+			}
+		}
+	}
+	return out
+}
+
+// OverlapTimes returns, per worker, the duration during which a comm
+// span and a compute span were simultaneously open on that worker — the
+// communication time hidden under compute by pipelining or prefetch.
+// Within each kind the spans are unioned first, so overlapping same-kind
+// spans (themselves an invariant violation) are not double counted.
+func (tl *Timeline) OverlapTimes() []float64 {
+	out := make([]float64, len(tl.Spans))
+	for w, spans := range tl.Spans {
+		out[w] = intersectMeasure(kindIntervals(spans, Comm), kindIntervals(spans, Compute))
+	}
+	return out
+}
+
+// kindIntervals returns the union of the worker's spans of one kind as a
+// sorted, disjoint interval list.
+func kindIntervals(spans []Span, k SpanKind) [][2]float64 {
+	var ivs [][2]float64
+	for _, s := range spans {
+		if s.Kind == k && s.End > s.Start {
+			ivs = append(ivs, [2]float64{s.Start, s.End})
+		}
+	}
+	if len(ivs) == 0 {
+		return nil
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+	merged := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &merged[len(merged)-1]
+		if iv[0] <= last[1] {
+			if iv[1] > last[1] {
+				last[1] = iv[1]
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	return merged
+}
+
+// intersectMeasure returns the total length of the intersection of two
+// sorted disjoint interval lists.
+func intersectMeasure(a, b [][2]float64) float64 {
+	total := 0.0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := math.Max(a[i][0], b[j][0])
+		hi := math.Min(a[i][1], b[j][1])
+		if hi > lo {
+			total += hi - lo
+		}
+		if a[i][1] < b[j][1] {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
 }
 
 // ComputeTimes returns each worker's total compute duration (all

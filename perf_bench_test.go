@@ -140,3 +140,57 @@ func BenchmarkPerfRuntimeStrategies(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPerfRuntimeBandwidth runs hom and het through the worker pool
+// under a constrained one-port master link with double-buffered prefetch
+// and reports the measured makespan and the fraction of communication
+// hidden under compute — the quantity the bandwidth model adds on top of
+// the volume ledger. On the heterogeneous platform the het plan ships
+// fewer elements, so under a tight link its makespan/op is the smaller
+// one: the paper's Figure-2 trade-off as a benchmark.
+func BenchmarkPerfRuntimeBandwidth(b *testing.B) {
+	const (
+		n  = 128
+		bw = 5e4 // elements/s: the link, not the arithmetic, is the bottleneck
+	)
+	speeds := []float64{1, 3, 5, 7}
+	pl, err := platform.FromSpeeds(speeds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warmTile(b)
+	r := stats.NewRNG(42)
+	av := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, n)
+	bv := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, n)
+
+	plans := map[string]func() (*nrt.StrategyPlan, error){
+		"hom": func() (*nrt.StrategyPlan, error) { return nrt.PlanHom(pl, n) },
+		"het": func() (*nrt.StrategyPlan, error) { return nrt.PlanHet(pl, n) },
+	}
+	for _, name := range []string{"hom", "het"} {
+		b.Run(name, func(b *testing.B) {
+			plan, err := plans[name]()
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := nrt.Options{
+				Speeds:        speeds,
+				WorkPerSecond: 2e6,
+				Burst:         200, // keep link waits from banking compute credit
+				Link:          nrt.Link{ElemsPerSecond: bw},
+				Prefetch:      true,
+			}
+			var makespan, overlap float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := nrt.Run(plan, av, bv, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan, overlap = rep.Makespan, rep.OverlapFraction
+			}
+			b.ReportMetric(makespan*1e3, "ms-makespan")
+			b.ReportMetric(overlap, "overlap")
+		})
+	}
+}
