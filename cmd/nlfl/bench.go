@@ -8,32 +8,62 @@ import (
 )
 
 // runBench drives the measured-performance harness: tiled kernels, the
-// demand-driven worker-pool runtime across platforms and strategies, and
-// the bandwidth-modeled link sweep, every measured volume cross-checked
-// against the paper's closed forms and every runtime trace audited by the
-// invariant oracle — the link-capacity check included — emitting
-// BENCH_kernels.json, BENCH_runtime.json and BENCH_link.json (see
-// docs/PERFORMANCE.md).
+// demand-driven worker-pool runtime across platforms and strategies, the
+// bandwidth-modeled link sweep, and the chaos sweep (one injected fault
+// scenario per class, survived with a clean exactly-once ledger), every
+// measured volume cross-checked against the paper's closed forms and
+// every runtime trace audited by the invariant oracle — emitting
+// BENCH_kernels.json, BENCH_runtime.json, BENCH_link.json and
+// BENCH_chaos.json (see docs/PERFORMANCE.md).
 func runBench(args []string) error {
 	fs := newFlagSet("bench")
 	seed := fs.Int64("seed", 42, "random seed (identical seeds reproduce identical geometry and volumes)")
 	out := fs.String("out", ".", "directory for the BENCH_*.json artifacts")
 	quick := fs.Bool("quick", false, "reduced CI configuration: smaller sizes, fewer platforms")
 	rate := fs.Float64("rate", 0, "token-bucket rate scale in cells/second for a speed-1 worker (0 = default 2e6)")
+	chaosOnly := fs.Bool("chaos", false, "run (or with -validate, check) only the chaos sweep")
 	validate := fs.Bool("validate", false, "validate existing BENCH_*.json in -out instead of running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	_, _, _, chaosPath := bench.Paths(*out)
 	if *validate {
+		if *chaosOnly {
+			cf, err := results.LoadBenchChaos(chaosPath)
+			if err != nil {
+				return err
+			}
+			if err := bench.ValidateChaos(cf); err != nil {
+				return err
+			}
+			fmt.Println("BENCH_chaos.json: schema ok, ledger exact, recovery counters nonzero, zero violations")
+			return nil
+		}
 		if err := bench.ValidateFiles(*out); err != nil {
 			return err
 		}
-		fmt.Println("BENCH_kernels.json, BENCH_runtime.json, BENCH_link.json: schema ok, volumes within tolerance, zero violations")
+		fmt.Println("BENCH_kernels.json, BENCH_runtime.json, BENCH_link.json, BENCH_chaos.json: schema ok, volumes within tolerance, zero violations")
 		return nil
 	}
 
 	cfg := bench.Config{Seed: *seed, Quick: *quick, WorkPerSecond: *rate}
-	kernelsPath, runtimePath, linkPath, err := bench.Run(cfg, *out)
+	if *chaosOnly {
+		cf, err := bench.RunChaosSweep(cfg)
+		if err != nil {
+			return err
+		}
+		if err := bench.ValidateChaos(cf); err != nil {
+			return err
+		}
+		if err := results.SaveBenchChaos(chaosPath, cf); err != nil {
+			return err
+		}
+		printChaos(cf)
+		fmt.Printf("\nwrote %s (every scenario survived, ledger exact, zero trace violations)\n", chaosPath)
+		return nil
+	}
+
+	kernelsPath, runtimePath, linkPath, chaosPath, err := bench.Run(cfg, *out)
 	if err != nil {
 		return err
 	}
@@ -70,7 +100,26 @@ func runBench(args []string) error {
 		fmt.Printf("  %-12s %-6s %10.3g %10.1f %10.4f %10.4f %8.3f\n",
 			e.Platform, e.Strategy, e.Bandwidth, e.MeasuredVolume, e.Makespan, e.CommTime, e.OverlapFraction)
 	}
-	fmt.Printf("\nwrote %s, %s and %s (all volumes within tolerance, zero trace violations)\n",
-		kernelsPath, runtimePath, linkPath)
+	cf, err := results.LoadBenchChaos(chaosPath)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	printChaos(cf)
+	fmt.Printf("\nwrote %s, %s, %s and %s (all volumes within tolerance, zero trace violations)\n",
+		kernelsPath, runtimePath, linkPath, chaosPath)
 	return nil
+}
+
+// printChaos renders the chaos sweep: per scenario, the degraded plan's
+// volume ledger and the recovery counters proving the fault bit.
+func printChaos(cf results.ChaosBenchFile) {
+	fmt.Printf("chaos sweep (rate %.3g cells/s per unit speed, exactly-once ledger):\n", cf.WorkPerSecond)
+	fmt.Printf("  %-12s %-12s %-6s %10s %10s %10s %8s %5s %5s %5s %9s\n",
+		"platform", "class", "strat", "plan", "replanned", "committed", "wasted", "retry", "spec", "dead", "reclaimed")
+	for _, e := range cf.Entries {
+		fmt.Printf("  %-12s %-12s %-6s %10.1f %10.1f %10.1f %8.1f %5d %5d %5d %9.0f\n",
+			e.Platform, e.Class, e.Strategy, e.PlanVolume, e.ReplannedVolume, e.CommittedVolume,
+			e.WastedData, e.RetriedChunks, e.SpeculativeWins, e.DegradedWorkers, e.ReclaimedCells)
+	}
 }

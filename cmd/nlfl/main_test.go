@@ -5,6 +5,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"nlfl/internal/results"
 )
 
 // capture redirects stdout while f runs and returns what was printed.
@@ -116,7 +118,7 @@ func TestCLIBench(t *testing.T) {
 	if err != nil {
 		t.Fatalf("bench run: %v", err)
 	}
-	for _, want := range []string{"kernels (autotuned tile", "runtime (rate", "hom/k", "het", "wrote"} {
+	for _, want := range []string{"kernels (autotuned tile", "runtime (rate", "hom/k", "het", "chaos sweep", "wrote"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("bench output missing %q:\n%s", want, truncate(out, 800))
 		}
@@ -134,6 +136,58 @@ func TestCLIBench(t *testing.T) {
 		return run([]string{"bench", "-validate", "-out", t.TempDir()})
 	}); err == nil {
 		t.Error("bench -validate on an empty directory should fail")
+	}
+}
+
+// TestCLIBenchChaos drives the chaos-only mode: the sweep must survive
+// every fault class (the crash-at-t=0 edge case included), emit a
+// BENCH_chaos.json that round-trips through -chaos -validate, and keep
+// its volume ledger deterministic across reruns (wall-clock fields and
+// retry counts are free to differ — see EXPERIMENTS.md).
+func TestCLIBenchChaos(t *testing.T) {
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	var files [2]results.ChaosBenchFile
+	for i, dir := range dirs {
+		out, err := capture(t, func() error {
+			return run([]string{"bench", "-chaos", "-quick", "-seed", "42", "-out", dir})
+		})
+		if err != nil {
+			t.Fatalf("bench -chaos: %v\n%s", err, out)
+		}
+		for _, want := range []string{"chaos sweep", "crash-t0", "straggler", "flaky-link", "replanned", "wrote"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("bench -chaos output missing %q:\n%s", want, truncate(out, 1200))
+			}
+		}
+		files[i], err = results.LoadBenchChaos(dir + "/BENCH_chaos.json")
+		if err != nil {
+			t.Fatalf("emitted chaos artifact unreadable: %v", err)
+		}
+	}
+	if len(files[0].Entries) != len(files[1].Entries) {
+		t.Fatalf("entry counts differ across reruns: %d vs %d", len(files[0].Entries), len(files[1].Entries))
+	}
+	for i := range files[0].Entries {
+		a, b := files[0].Entries[i], files[1].Entries[i]
+		if a.Class != b.Class || a.Platform != b.Platform || a.Strategy != b.Strategy ||
+			a.Chunks != b.Chunks || a.PlanVolume != b.PlanVolume {
+			t.Errorf("entry %d geometry not deterministic: %+v vs %+v", i, a, b)
+		}
+	}
+
+	out, err := capture(t, func() error {
+		return run([]string{"bench", "-chaos", "-validate", "-out", dirs[0]})
+	})
+	if err != nil {
+		t.Fatalf("bench -chaos -validate on freshly emitted artifact: %v", err)
+	}
+	if !strings.Contains(out, "BENCH_chaos.json: schema ok") {
+		t.Errorf("chaos validate output missing confirmation:\n%s", truncate(out, 800))
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"bench", "-chaos", "-validate", "-out", t.TempDir()})
+	}); err == nil {
+		t.Error("bench -chaos -validate on an empty directory should fail")
 	}
 }
 

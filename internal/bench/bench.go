@@ -21,12 +21,13 @@ import (
 	"runtime"
 )
 
-// KernelsFileName, RuntimeFileName and LinkFileName are the emitted
-// artifact names.
+// KernelsFileName, RuntimeFileName, LinkFileName and ChaosFileName are
+// the emitted artifact names.
 const (
 	KernelsFileName = "BENCH_kernels.json"
 	RuntimeFileName = "BENCH_runtime.json"
 	LinkFileName    = "BENCH_link.json"
+	ChaosFileName   = "BENCH_chaos.json"
 )
 
 // Config selects the measurement envelope.
@@ -46,8 +47,9 @@ type Config struct {
 func maxProcs() int { return runtime.GOMAXPROCS(0) }
 
 // Paths returns the artifact paths under dir.
-func Paths(dir string) (kernels, runtimePath, link string) {
+func Paths(dir string) (kernels, runtimePath, link, chaos string) {
 	return filepath.Join(dir, KernelsFileName),
 		filepath.Join(dir, RuntimeFileName),
-		filepath.Join(dir, LinkFileName)
+		filepath.Join(dir, LinkFileName),
+		filepath.Join(dir, ChaosFileName)
 }

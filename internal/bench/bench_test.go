@@ -10,7 +10,7 @@ import (
 func TestRunQuickEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	cfg := Config{Seed: 42, Quick: true}
-	kernelsPath, runtimePath, linkPath, err := Run(cfg, dir)
+	kernelsPath, runtimePath, linkPath, chaosPath, err := Run(cfg, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,6 +66,31 @@ func TestRunQuickEndToEnd(t *testing.T) {
 	// plan finishes first on the heterogeneous platform.
 	if het, hom := makespans["het"], makespans["hom"]; het <= 0 || hom <= 0 || het >= hom {
 		t.Errorf("constrained-bandwidth makespans het=%v hom=%v, want het < hom", het, hom)
+	}
+
+	cf, err := results.LoadBenchChaos(chaosPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick config: 1 platform × 4 fault classes.
+	if len(cf.Entries) != 4 {
+		t.Fatalf("chaos file has %d entries, want 4", len(cf.Entries))
+	}
+	classes := map[string]bool{}
+	for _, e := range cf.Entries {
+		classes[e.Class] = true
+		if e.Violations != 0 {
+			t.Errorf("chaos %s/%s: %d invariant violations in a passing run", e.Platform, e.Class, e.Violations)
+		}
+		if e.CommittedVolume != e.ReplannedVolume {
+			t.Errorf("chaos %s/%s: committed %v ≠ re-planned %v — the executor's ledger is exact",
+				e.Platform, e.Class, e.CommittedVolume, e.ReplannedVolume)
+		}
+	}
+	for _, want := range []string{"crash", "crash-t0", "straggler", "flaky-link"} {
+		if !classes[want] {
+			t.Errorf("chaos sweep missing fault class %q", want)
+		}
 	}
 }
 
@@ -163,6 +188,44 @@ func TestValidateRejectsBrokenFiles(t *testing.T) {
 		mutate(&f)
 		if err := ValidateLink(f); !errors.Is(err, ErrInvalidBench) {
 			t.Errorf("link %s: broken file accepted: %v", name, err)
+		}
+	}
+
+	goodChaos := results.ChaosBenchEntry{
+		Class: "crash", Platform: "p", Speeds: []float64{1, 3}, Strategy: "het",
+		N: 8, Workers: 2, Chunks: 2,
+		PlanVolume: 32, ReplannedVolume: 40, CommittedVolume: 40,
+		MeasuredVolume: 48, WastedData: 8, Makespan: 0.1,
+		DegradedWorkers: 1, ReclaimedCells: 16,
+	}
+	chaosBase := results.ChaosBenchFile{
+		Schema: results.BenchChaosSchema, WorkPerSecond: 2e4,
+		Entries: []results.ChaosBenchEntry{goodChaos},
+	}
+	if err := ValidateChaos(chaosBase); err != nil {
+		t.Fatalf("well-formed chaos file rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*results.ChaosBenchEntry){
+		"wrong-class":     func(e *results.ChaosBenchEntry) { e.Class = "gremlins" },
+		"replan-shrank":   func(e *results.ChaosBenchEntry) { e.ReplannedVolume = 30 },
+		"5%-volume-gate":  func(e *results.ChaosBenchEntry) { e.CommittedVolume = 36 },
+		"leaky-ledger":    func(e *results.ChaosBenchEntry) { e.WastedData = 4 },
+		"waste-thrash":    func(e *results.ChaosBenchEntry) { e.WastedData = 48; e.MeasuredVolume = 88 },
+		"nan-makespan":    func(e *results.ChaosBenchEntry) { e.Makespan = nan() },
+		"zero-makespan":   func(e *results.ChaosBenchEntry) { e.Makespan = 0 },
+		"crash-no-trace":  func(e *results.ChaosBenchEntry) { e.DegradedWorkers = 0 },
+		"no-spec-win":     func(e *results.ChaosBenchEntry) { e.Class = "straggler" },
+		"no-retry":        func(e *results.ChaosBenchEntry) { e.Class = "flaky-link" },
+		"violations":      func(e *results.ChaosBenchEntry) { e.Violations = 2 },
+		"missing-class":   func(e *results.ChaosBenchEntry) { e.Class = "" },
+		"speeds-mismatch": func(e *results.ChaosBenchEntry) { e.Speeds = []float64{1} },
+	} {
+		f := chaosBase
+		e := goodChaos
+		mutate(&e)
+		f.Entries = []results.ChaosBenchEntry{e}
+		if err := ValidateChaos(f); !errors.Is(err, ErrInvalidBench) {
+			t.Errorf("chaos %s: broken entry accepted: %v", name, err)
 		}
 	}
 }

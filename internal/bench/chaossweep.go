@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	goruntime "runtime"
+
+	"nlfl/internal/faults"
+	"nlfl/internal/platform"
+	"nlfl/internal/results"
+	nrt "nlfl/internal/runtime"
+	"nlfl/internal/stats"
+	"nlfl/internal/trace"
+)
+
+// The chaos sweep runs a fixed envelope rather than the Config knobs:
+// every scenario's crash instants, fault windows, retry budgets and
+// speculation thresholds are calibrated against this rate and size so
+// the fault lands mid-run (not after an instant drain, not after the
+// pool already finished). chaosN=128 keeps a het-1357 chunk around 50 ms
+// at chaosRate, so a 15 ms crash is reliably mid-chunk.
+const (
+	chaosN    = 128
+	chaosRate = 2e4
+	// chaosVolTolerance is the acceptance gate on the volume ledger: the
+	// committed volume must match the survivor-re-planned plan volume to
+	// within 5%. The executor actually achieves exact equality (both are
+	// integer-valued element counts), so the gate has real slack only for
+	// future executors that ship partial chunks.
+	chaosVolTolerance = 0.05
+)
+
+// chaosCase is one fault scenario the sweep injects.
+type chaosCase struct {
+	class    string // "crash", "crash-t0", "straggler", "flaky-link"
+	strategy string // "het" exercises re-planning, "hom" the shared queue
+	chaos    nrt.Chaos
+}
+
+// chaosCases returns one scenario per fault class. Crash scenarios run
+// the het strategy so recovery exercises the survivor re-plan (the dead
+// worker's rectangle is re-split by PERI-SUM over the survivors);
+// straggler and flaky-link run hom so recovery exercises speculation and
+// retry against the shared sharded queue.
+func chaosCases() []chaosCase {
+	return []chaosCase{
+		{
+			class:    "crash",
+			strategy: "het",
+			// Worker p-1 (the fastest, largest rectangle) dies mid-chunk.
+			chaos: nrt.Chaos{Scenario: faults.SingleCrash(3, 0.015), MaxRetries: 4},
+		},
+		{
+			class:    "crash-t0",
+			strategy: "het",
+			// The edge case: death before the first transfer. Recovery is
+			// pure backlog reclamation — no in-flight lease exists yet.
+			chaos: nrt.Chaos{Scenario: faults.SingleCrash(3, 0), MaxRetries: 4},
+		},
+		{
+			class:    "straggler",
+			strategy: "hom",
+			chaos: nrt.Chaos{
+				Scenario: faults.Scenario{Events: []faults.Event{
+					// Worker 0 computes at quarter speed for the whole run;
+					// speculation re-issues its stale chunk to an idle peer.
+					{Kind: faults.Straggler, Worker: 0, Time: 0, Until: 1, Factor: 0.25},
+				}},
+				SpeculateAfter: 0.06,
+			},
+		},
+		{
+			class:    "flaky-link",
+			strategy: "hom",
+			chaos: nrt.Chaos{
+				Scenario: faults.Scenario{Events: []faults.Event{
+					// Every transfer to worker 0 in the first 80 ms is lost:
+					// deterministic retry counts regardless of the drop RNG.
+					{Kind: faults.LinkDrop, Worker: 0, Time: 0, Until: 0.08, DropProb: 1},
+				}},
+				MaxRetries:  8,
+				BackoffBase: 0.005,
+				BackoffMax:  0.04,
+			},
+		},
+	}
+}
+
+func chaosPlatforms(quick bool) []benchPlatform {
+	ps := []benchPlatform{{"het-1357-p4", []float64{1, 3, 5, 7}}}
+	if !quick {
+		ps = append(ps, benchPlatform{"het-1224-p4", []float64{1, 2, 2, 4}})
+	}
+	return ps
+}
+
+// RunChaosSweep executes one scenario per fault class through the real
+// worker pool with the chaos layer armed, audits every trace with the
+// exactly-once oracle, cross-checks the volume ledger against the
+// survivor-re-planned plan, and returns the BENCH_chaos payload. A
+// scenario the pool does not survive — or survives with a dirty ledger —
+// is an error, not a data point.
+func RunChaosSweep(cfg Config) (results.ChaosBenchFile, error) {
+	file := results.ChaosBenchFile{
+		Schema:        results.BenchChaosSchema,
+		Seed:          cfg.Seed,
+		Quick:         cfg.Quick,
+		WorkPerSecond: chaosRate,
+		GoVersion:     goruntime.Version(),
+		GOMAXPROCS:    maxProcs(),
+	}
+	r := stats.NewRNG(cfg.Seed)
+	a := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, chaosN)
+	b := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, chaosN)
+
+	for _, bp := range chaosPlatforms(cfg.Quick) {
+		pl, err := platform.FromSpeeds(bp.speeds)
+		if err != nil {
+			return file, err
+		}
+		for _, cc := range chaosCases() {
+			var plan *nrt.StrategyPlan
+			if cc.strategy == "het" {
+				plan, err = nrt.PlanHet(pl, chaosN)
+			} else {
+				plan, err = nrt.PlanHom(pl, chaosN)
+			}
+			if err != nil {
+				return file, fmt.Errorf("bench: %s/%s plan: %w", bp.name, cc.class, err)
+			}
+			rep, err := nrt.Run(plan, a, b, nrt.Options{
+				Speeds:        bp.speeds,
+				WorkPerSecond: chaosRate,
+				// Burst 1: no banked credit, so every worker pays honest
+				// token time and the calibrated fault windows land mid-run.
+				Burst:       1,
+				VerifyEvery: 509,
+				Chaos:       cc.chaos,
+			})
+			if err != nil {
+				return file, fmt.Errorf("bench: %s/%s: pool did not survive: %w", bp.name, cc.class, err)
+			}
+			violations := trace.Check(rep.Trace, rep.Expect(1e-9))
+			if len(violations) > 0 {
+				return file, fmt.Errorf("bench: %s/%s trace violations: %v", bp.name, cc.class, trace.Must(violations))
+			}
+			file.Entries = append(file.Entries, results.ChaosBenchEntry{
+				Class: cc.class, Platform: bp.name, Speeds: bp.speeds,
+				Strategy: rep.Strategy, N: chaosN, Workers: rep.Workers, Chunks: rep.Chunks,
+				PlanVolume:      rep.PlanVolume,
+				ReplannedVolume: rep.ReplannedVolume,
+				CommittedVolume: rep.CommittedVolume,
+				MeasuredVolume:  rep.DataVolume,
+				WastedData:      rep.WastedData,
+				Makespan:        rep.Makespan,
+				RetriedChunks:   rep.RetriedChunks,
+				SpeculativeWins: rep.SpeculativeWins,
+				DegradedWorkers: rep.DegradedWorkers,
+				ReclaimedCells:  rep.ReclaimedCells,
+				Violations:      0,
+			})
+		}
+	}
+	return file, nil
+}
+
+// ValidateChaos is the schema check for a BENCH_chaos payload: right
+// schema id, one entry per fault class, finite fields, zero invariant
+// violations, the committed volume within 5% of the survivor-re-planned
+// plan volume, an exact shipped = committed + wasted ledger, and — per
+// class — nonzero recovery counters proving the scenario actually bit
+// (a chaos sweep that injected nothing would pass every other gate).
+func ValidateChaos(f results.ChaosBenchFile) error {
+	const path = ChaosFileName
+	if f.Schema != results.BenchChaosSchema {
+		return invalid(path, "schema %q, want %q", f.Schema, results.BenchChaosSchema)
+	}
+	if len(f.Entries) == 0 {
+		return invalid(path, "no entries")
+	}
+	if !finite(f.WorkPerSecond) || f.WorkPerSecond <= 0 {
+		return invalid(path, "non-positive work rate %v", f.WorkPerSecond)
+	}
+	for i, e := range f.Entries {
+		id := fmt.Sprintf("entry %d (%s %s/%s n=%d)", i, e.Class, e.Platform, e.Strategy, e.N)
+		if e.Class == "" || e.Platform == "" || e.Strategy == "" || e.N <= 0 || e.Workers <= 0 || e.Chunks <= 0 {
+			return invalid(path, "%s: missing identity fields", id)
+		}
+		if len(e.Speeds) != e.Workers {
+			return invalid(path, "%s: %d speeds for %d workers", id, len(e.Speeds), e.Workers)
+		}
+		for _, v := range []struct {
+			name  string
+			value float64
+		}{
+			{"planVolume", e.PlanVolume},
+			{"replannedVolume", e.ReplannedVolume},
+			{"committedVolume", e.CommittedVolume},
+			{"measuredVolume", e.MeasuredVolume},
+			{"wastedData", e.WastedData},
+			{"makespan", e.Makespan},
+			{"reclaimedCells", e.ReclaimedCells},
+		} {
+			if !finite(v.value) {
+				return invalid(path, "%s: non-finite %s %v", id, v.name, v.value)
+			}
+		}
+		if e.PlanVolume <= 0 {
+			return invalid(path, "%s: zero plan volume", id)
+		}
+		if e.ReplannedVolume < e.PlanVolume {
+			return invalid(path, "%s: replanned volume %v below plan volume %v", id, e.ReplannedVolume, e.PlanVolume)
+		}
+		if rel := math.Abs(e.CommittedVolume-e.ReplannedVolume) / e.ReplannedVolume; rel > chaosVolTolerance {
+			return invalid(path, "%s: committed volume off the re-planned plan by %.4f (> %.2f)", id, rel, chaosVolTolerance)
+		}
+		if diff := math.Abs(e.MeasuredVolume - (e.CommittedVolume + e.WastedData)); diff > 1e-6*math.Max(1, e.MeasuredVolume) {
+			return invalid(path, "%s: shipped %v ≠ committed %v + wasted %v", id, e.MeasuredVolume, e.CommittedVolume, e.WastedData)
+		}
+		if e.WastedData > 0.5*e.MeasuredVolume {
+			return invalid(path, "%s: waste fraction %.2f above 0.5 — recovery thrashing", id, e.WastedData/e.MeasuredVolume)
+		}
+		if e.Makespan <= 0 {
+			return invalid(path, "%s: zero makespan", id)
+		}
+		switch e.Class {
+		case "crash", "crash-t0":
+			if e.DegradedWorkers < 1 || e.ReclaimedCells <= 0 {
+				return invalid(path, "%s: crash scenario left no trace (degraded %d, reclaimed %v)",
+					id, e.DegradedWorkers, e.ReclaimedCells)
+			}
+		case "straggler":
+			if e.SpeculativeWins < 1 {
+				return invalid(path, "%s: straggler scenario produced no speculative win", id)
+			}
+		case "flaky-link":
+			if e.RetriedChunks < 1 {
+				return invalid(path, "%s: flaky-link scenario produced no retry", id)
+			}
+		default:
+			return invalid(path, "%s: unknown fault class %q", id, e.Class)
+		}
+		if e.Violations != 0 {
+			return invalid(path, "%s: %d invariant violations", id, e.Violations)
+		}
+	}
+	return nil
+}

@@ -148,41 +148,52 @@ func RunRuntime(cfg Config) (results.RuntimeBenchFile, error) {
 	return file, nil
 }
 
-// Run executes the full harness — kernels, runtime strategies, and the
-// bandwidth-modeled link sweep — and writes the three artifacts into
-// dir, returning their paths. Every payload is validated before writing;
-// a file that would fail the CI schema gate is never emitted.
-func Run(cfg Config, dir string) (kernelsPath, runtimePath, linkPath string, err error) {
-	kernelsPath, runtimePath, linkPath = Paths(dir)
+// Run executes the full harness — kernels, runtime strategies, the
+// bandwidth-modeled link sweep, and the chaos sweep — and writes the
+// four artifacts into dir, returning their paths. Every payload is
+// validated before writing; a file that would fail the CI schema gate is
+// never emitted.
+func Run(cfg Config, dir string) (kernelsPath, runtimePath, linkPath, chaosPath string, err error) {
+	kernelsPath, runtimePath, linkPath, chaosPath = Paths(dir)
 	kf, err := RunKernels(cfg)
 	if err != nil {
-		return "", "", "", err
+		return "", "", "", "", err
 	}
 	if err := ValidateKernels(kf); err != nil {
-		return "", "", "", err
+		return "", "", "", "", err
 	}
 	rf, err := RunRuntime(cfg)
 	if err != nil {
-		return "", "", "", err
+		return "", "", "", "", err
 	}
 	if err := ValidateRuntime(rf); err != nil {
-		return "", "", "", err
+		return "", "", "", "", err
 	}
 	lf, err := RunLinkSweep(cfg)
 	if err != nil {
-		return "", "", "", err
+		return "", "", "", "", err
 	}
 	if err := ValidateLink(lf); err != nil {
-		return "", "", "", err
+		return "", "", "", "", err
+	}
+	cf, err := RunChaosSweep(cfg)
+	if err != nil {
+		return "", "", "", "", err
+	}
+	if err := ValidateChaos(cf); err != nil {
+		return "", "", "", "", err
 	}
 	if err := results.SaveBenchKernels(kernelsPath, kf); err != nil {
-		return "", "", "", err
+		return "", "", "", "", err
 	}
 	if err := results.SaveBenchRuntime(runtimePath, rf); err != nil {
-		return "", "", "", err
+		return "", "", "", "", err
 	}
 	if err := results.SaveBenchLink(linkPath, lf); err != nil {
-		return "", "", "", err
+		return "", "", "", "", err
 	}
-	return kernelsPath, runtimePath, linkPath, nil
+	if err := results.SaveBenchChaos(chaosPath, cf); err != nil {
+		return "", "", "", "", err
+	}
+	return kernelsPath, runtimePath, linkPath, chaosPath, nil
 }

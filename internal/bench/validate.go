@@ -112,10 +112,10 @@ func ValidateRuntime(f results.RuntimeBenchFile) error {
 	return nil
 }
 
-// ValidateFiles loads and validates all three artifacts under dir — the
+// ValidateFiles loads and validates all four artifacts under dir — the
 // CI bench-smoke gate.
 func ValidateFiles(dir string) error {
-	kernelsPath, runtimePath, linkPath := Paths(dir)
+	kernelsPath, runtimePath, linkPath, chaosPath := Paths(dir)
 	kf, err := results.LoadBenchKernels(kernelsPath)
 	if err != nil {
 		return err
@@ -134,5 +134,12 @@ func ValidateFiles(dir string) error {
 	if err != nil {
 		return err
 	}
-	return ValidateLink(lf)
+	if err := ValidateLink(lf); err != nil {
+		return err
+	}
+	cf, err := results.LoadBenchChaos(chaosPath)
+	if err != nil {
+		return err
+	}
+	return ValidateChaos(cf)
 }

@@ -54,6 +54,12 @@ type masterLink struct {
 	free  float64   // live-seconds instant the shared port is next free
 	freeW []float64 // live-seconds instants each worker link is next free
 	now   func() float64
+	// slowdown, when set, scales the effective rate of a transfer to
+	// worker w booked at live instant t (the chaos layer's LinkSlow
+	// realization: factor < 1 stretches the booked window). Sampled once
+	// at booking time; a window boundary crossing mid-transfer does not
+	// re-rate the transfer.
+	slowdown func(w int, t float64) float64
 }
 
 // newMasterLink builds the booking state for the configured link; nil
@@ -83,10 +89,16 @@ func (ml *masterLink) rateFor(w int) float64 {
 // book reserves the next window of elems elements for worker w and
 // returns it in live-clock seconds. It never sleeps; pair it with wait.
 func (ml *masterLink) book(w int, elems float64) (start, end float64) {
-	dur := elems / ml.rateFor(w)
+	rate := ml.rateFor(w)
 	ml.mu.Lock()
 	defer ml.mu.Unlock()
 	start = ml.now()
+	if ml.slowdown != nil {
+		if f := ml.slowdown(w, start); f > 0 && f < 1 {
+			rate *= f
+		}
+	}
+	dur := elems / rate
 	if ml.agg > 0 && ml.free > start {
 		start = ml.free
 	}

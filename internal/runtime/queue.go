@@ -78,9 +78,24 @@ func newWorkQueue(chunks []Chunk, workers, shards int) *workQueue {
 	return q
 }
 
+// push appends chunks to home's shard — the reclamation entry point: a
+// dead worker's lost chunks re-enter the shared pool here, where any
+// survivor's ring steal will find them. Pushing to the dead worker's own
+// home stripe (w % shards) keeps the stripe non-empty exactly until the
+// reclaimed work is drained, so stealers keep scanning it until then and
+// skip it (an O(1) mutex probe) only afterwards.
+func (q *workQueue) push(home int, cs ...Chunk) {
+	s := q.shards[home%len(q.shards)]
+	s.mu.Lock()
+	s.items = append(s.items, cs...)
+	s.mu.Unlock()
+}
+
 // pop returns worker w's next chunk: private backlog first, then the home
 // shard, then work stealing in ring order. ok=false means the whole queue
-// is drained for this worker.
+// is drained for this worker — though after a reclamation push a stripe
+// that once read empty can refill, so resilient callers re-poll rather
+// than trusting one false.
 func (q *workQueue) pop(w int) (Chunk, bool) {
 	if q.phead[w] < len(q.private[w]) {
 		c := q.private[w][q.phead[w]]

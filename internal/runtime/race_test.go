@@ -83,3 +83,88 @@ func TestRunPrefetchConcurrency(t *testing.T) {
 		t.Errorf("trace violations: %v", vs)
 	}
 }
+
+// TestChaosQueueStealDuringReclaim churns three survivors through the
+// resilient queue's next/commit cycle while the main goroutine
+// concurrently reclaims a dead worker — whose un-issued backlog lands on
+// its home stripe mid-drain, so pop's "empty" verdicts race the push.
+// Every cell must still commit exactly once. Meaningful under -race.
+func TestChaosQueueStealDuringReclaim(t *testing.T) {
+	const (
+		workers = 4
+		dead    = 3
+		n       = 64
+	)
+	// Half the domain ownerless, half owned by the worker about to die.
+	chunks, err := GridChunks(n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalCells := 0
+	for i := range chunks {
+		if i%2 == 0 {
+			chunks[i].Owner = dead
+		}
+		totalCells += chunks[i].Cells()
+	}
+	cq := newChaosQueue(chunks, workers, 4, 0)
+
+	// The dead worker drags a couple of chunks into leased state first so
+	// reclaim exercises the lease-revocation path, not just the backlog.
+	for i := 0; i < 2; i++ {
+		if _, st := cq.next(dead, 0); st != queueGot {
+			t.Fatalf("dead worker lease %d: state %v, want queueGot", i, st)
+		}
+	}
+
+	var mu sync.Mutex
+	committed := make(map[int]int)
+	cells := 0
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers-1; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for {
+				c, st := cq.next(w, 0)
+				switch st {
+				case queueDone:
+					return
+				case queueWait:
+					continue // reclaim may still repopulate the shards
+				}
+				if won, _ := cq.commit(c.Task, w); won {
+					mu.Lock()
+					committed[c.Task]++
+					cells += c.Cells()
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	close(start)
+	// Identity replan keeping the task id: reclaimed chunks go ownerless
+	// onto the dead worker's home stripe, where only stealing finds them.
+	reclaimed, _, over := cq.reclaim(dead, 2, func(c Chunk) []Chunk {
+		c.Owner = -1
+		return []Chunk{c}
+	})
+	wg.Wait()
+
+	if over != nil {
+		t.Fatalf("reclaim reported exhausted budget for task %d", over.Task)
+	}
+	if reclaimed == 0 {
+		t.Fatal("reclaim recovered zero cells; dead worker's backlog was lost")
+	}
+	if cells != totalCells {
+		t.Errorf("committed %d cells, want %d", cells, totalCells)
+	}
+	for task, count := range committed {
+		if count != 1 {
+			t.Errorf("task %d committed %d times", task, count)
+		}
+	}
+}

@@ -1,12 +1,26 @@
 package runtime
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"nlfl/internal/matmul"
 	"nlfl/internal/trace"
+)
+
+// Typed failures of a resilient run.
+var (
+	// ErrWorkerFailed marks a run lost to worker death: a goroutine
+	// panicked, a crashed worker's chunk had no retry budget left, or no
+	// worker survived to finish the domain.
+	ErrWorkerFailed = errors.New("runtime: worker failed")
+	// ErrTransferFailed marks a run lost to the network: a chunk's
+	// transfer was dropped more times than the retry budget allows.
+	ErrTransferFailed = errors.New("runtime: transfer failed")
 )
 
 // Options configures the worker pool.
@@ -33,8 +47,18 @@ type Options struct {
 	// Prefetch enables double-buffered prefetch: while a worker computes
 	// one chunk it claims and transfers the next, overlapping the
 	// transfer with the current chunk's compute. The overlapped fraction
-	// is reported in Report.OverlapFraction.
+	// is reported in Report.OverlapFraction. Prefetch cannot be combined
+	// with Chaos: a prefetched chunk is a second outstanding lease, which
+	// the recovery machinery does not track.
 	Prefetch bool
+	// Chaos enables the fault-injection layer and its survival machinery
+	// (see Chaos). The zero value selects the fault-free fast path.
+	Chaos Chaos
+
+	// testHookChunkStart, when set, runs on the worker goroutine right
+	// after a chunk is claimed and before its transfer starts — the
+	// in-package test seam for forcing panics and interleavings.
+	testHookChunkStart func(w int, c Chunk)
 }
 
 // Report is the outcome of one measured run.
@@ -50,7 +74,8 @@ type Report struct {
 	// Predicted is the plan's closed-form communication volume.
 	Predicted float64
 	// DataVolume is the measured volume: vector elements actually copied
-	// into worker-local buffers, summed over chunks.
+	// into worker-local buffers, summed over chunks — retries, drops and
+	// speculative duplicates included.
 	DataVolume float64
 	// WorkCells is the total output cells computed (= N² for a full run).
 	WorkCells float64
@@ -77,6 +102,40 @@ type Report struct {
 	// port was unconstrained); Expect threads it to the trace oracle's
 	// link-capacity invariant.
 	LinkCapacity float64
+
+	// Chaos reports whether the run executed under the fault-injection
+	// layer; the recovery ledger below is zero without it.
+	Chaos bool
+	// RetriedChunks counts transfer attempts lost to link drops and
+	// retried after backoff.
+	RetriedChunks int
+	// SpeculativeWins counts chunks whose committed copy was a
+	// speculative re-execution rather than the original holder's.
+	SpeculativeWins int
+	// DegradedWorkers counts workers that died permanently.
+	DegradedWorkers int
+	// ReclaimedCells counts output cells reclaimed from dead workers and
+	// re-planned onto survivors.
+	ReclaimedCells float64
+	// PlanVolume is the executed plan's geometric volume Σ(wᵢ+hᵢ): the
+	// realized closed form, equal to Predicted on snapped platforms and
+	// the analytic floor no faulty run can undercut.
+	PlanVolume float64
+	// CommittedVolume is the data shipped for winning commits only;
+	// ReplannedVolume is PlanVolume plus the extra volume survivor
+	// re-planning added — the survivor-re-planned closed form that
+	// CommittedVolume matches exactly on a clean run. WastedData is the
+	// shipping burned by drops, crashed workers' in-flight inputs and
+	// losing speculative copies: DataVolume = CommittedVolume +
+	// WastedData.
+	CommittedVolume float64
+	ReplannedVolume float64
+	WastedData      float64
+	// WastedWorkCells are compute cells burned by losing speculative
+	// copies; LostWorkCells are cells destroyed mid-chunk by crashes.
+	WastedWorkCells float64
+	LostWorkCells   float64
+
 	// Out is the computed product.
 	Out *matmul.Matrix
 	// Trace is the run's audited timeline (wall-clock seconds).
@@ -85,12 +144,16 @@ type Report struct {
 
 // Expect returns the invariant-oracle expectations for the run: exact
 // work conservation (every cell computed once), the exact shipping ledger,
-// the strategy's analytic volume as an exact bound within relTol, and —
-// when the run modeled a shared master link — the link-capacity
-// invariant at that bandwidth.
+// the strategy's analytic volume bound within relTol, and — when the run
+// modeled a shared master link — the link-capacity invariant at that
+// bandwidth. Fault-free runs pin the measured volume to the closed form
+// exactly; chaos runs switch to the no-free-lunch floor (faults only ever
+// add traffic, so the executed plan's volume bounds the measured volume
+// from below) and arm the exactly-once invariant, with the waste ledger
+// threaded through.
 func (r *Report) Expect(relTol float64) *trace.Expect {
 	nn := float64(r.N) * float64(r.N)
-	return &trace.Expect{
+	e := &trace.Expect{
 		HasWork:       true,
 		TotalWork:     nn,
 		ProcessedWork: nn,
@@ -102,6 +165,15 @@ func (r *Report) Expect(relTol float64) *trace.Expect {
 		LinkCapacity:  r.LinkCapacity,
 		Tol:           relTol,
 	}
+	if r.Chaos {
+		e.Bound = r.PlanVolume
+		e.BoundKind = trace.BoundLower
+		e.BoundName = "Comm_" + r.Strategy + " plan floor"
+		e.ExactlyOnce = true
+		e.WastedWork = r.WastedWorkCells
+		e.LostWork = r.LostWorkCells
+	}
+	return e
 }
 
 // staged is one chunk whose inputs have been shipped into worker-local
@@ -111,17 +183,118 @@ type staged struct {
 	aBuf, bBuf []float64
 }
 
-// Run executes the plan on real vectors: len(Speeds) goroutine workers
-// pull chunks from the sharded queue, ship each chunk's a̅/b̅ intervals
-// into worker-local buffers (the Comm span — paced by the bandwidth
-// model when Options.Link is set, raw memcpy otherwise), pay the chunk's
-// area to their token bucket and fill the output rectangle through the
-// tiled kernel (the Compute span). With Options.Prefetch each worker
-// double-buffers: the next chunk's transfer runs while the current chunk
-// computes. The returned report carries the product, the measured
-// per-worker traffic and comm time, the comm/compute overlap fraction,
-// and the trace.Live timeline of the run.
+// runner is the shared state of one Run: inputs, throttles, ledgers and
+// the failure latch. The fast path touches only the fault-free subset;
+// the chaos path adds the mutex-guarded recovery ledger.
+type runner struct {
+	opts Options
+	a, b []float64
+	n    int
+	rate float64
+
+	out      *matmul.Matrix
+	live     *trace.Live
+	link     *masterLink
+	perData  []float64 // written only by each worker's own goroutine
+	perCells []float64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+	// chaos ledgers (mu-guarded)
+	committedChunks             []Chunk
+	committedVolume, wastedData float64
+	wastedWork, lostWork        float64
+	replanExtra                 float64
+	reclaimedCells              int
+	retried, specWins, degraded int
+}
+
+// fail latches the first failure and cancels every worker.
+func (r *runner) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+	r.cancel()
+}
+
+func (r *runner) runErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func (r *runner) noteRetry(data float64) {
+	r.mu.Lock()
+	r.retried++
+	r.wastedData += data
+	r.mu.Unlock()
+}
+
+func (r *runner) noteWaste(data, cells float64) {
+	r.mu.Lock()
+	r.wastedData += data
+	r.wastedWork += cells
+	r.mu.Unlock()
+}
+
+func (r *runner) noteLost(cells float64) {
+	r.mu.Lock()
+	r.lostWork += cells
+	r.mu.Unlock()
+}
+
+func (r *runner) noteCommit(c Chunk, data float64, specWin bool) {
+	r.mu.Lock()
+	r.committedChunks = append(r.committedChunks, c)
+	r.committedVolume += data
+	if specWin {
+		r.specWins++
+	}
+	r.mu.Unlock()
+}
+
+// guard runs one worker body with panic containment: a panicking worker
+// used to take the whole process down (goroutine panics are fatal) or —
+// with recovery but no latch — leave wg.Wait stuck behind siblings
+// blocked on a link booking. Now it latches ErrWorkerFailed and cancels
+// the run.
+func (r *runner) guard(w int, body func(int)) {
+	defer r.wg.Done()
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.fail(fmt.Errorf("%w: worker %d panicked: %v", ErrWorkerFailed, w, rec))
+		}
+	}()
+	body(w)
+}
+
+// Run executes the plan on real vectors — RunContext without external
+// cancellation.
 func Run(plan *StrategyPlan, a, b []float64, opts Options) (*Report, error) {
+	return RunContext(context.Background(), plan, a, b, opts)
+}
+
+// RunContext executes the plan on real vectors: len(Speeds) goroutine
+// workers pull chunks from the sharded queue, ship each chunk's a̅/b̅
+// intervals into worker-local buffers (the Comm span — paced by the
+// bandwidth model when Options.Link is set, raw memcpy otherwise), pay
+// the chunk's area to their token bucket and fill the output rectangle
+// through the tiled kernel (the Compute span). With Options.Prefetch
+// each worker double-buffers: the next chunk's transfer runs while the
+// current chunk computes. With Options.Chaos the pool runs the resilient
+// path instead: scenario faults are injected on the live goroutines and
+// survived via leases, retries, speculation and survivor re-planning
+// (see Chaos). Cancelling ctx stops the pool at the next chunk boundary
+// and returns ctx's error. The returned report carries the product, the
+// measured per-worker traffic and comm time, the comm/compute overlap
+// fraction, the recovery ledger, and the trace.Live timeline of the run.
+func RunContext(ctx context.Context, plan *StrategyPlan, a, b []float64, opts Options) (*Report, error) {
 	n := plan.N
 	if len(a) != n || len(b) != n {
 		return nil, fmt.Errorf("runtime: plan is for N=%d, got vectors of %d and %d", n, len(a), len(b))
@@ -154,7 +327,15 @@ func Run(plan *StrategyPlan, a, b []float64, opts Options) (*Report, error) {
 	if err := checkTiling(n, plan.Chunks); err != nil {
 		return nil, err
 	}
-	totalCells := n * n
+	chaosOn := opts.Chaos.enabled()
+	if chaosOn {
+		if err := opts.Chaos.validate(p); err != nil {
+			return nil, err
+		}
+		if opts.Prefetch {
+			return nil, fmt.Errorf("runtime: Prefetch cannot be combined with Chaos (a prefetched chunk is an untracked second lease)")
+		}
+	}
 	rate := opts.WorkPerSecond
 	if rate <= 0 {
 		rate = 2e6
@@ -163,98 +344,73 @@ func Run(plan *StrategyPlan, a, b []float64, opts Options) (*Report, error) {
 	if shards <= 0 {
 		shards = min(p, 8)
 	}
-
-	out := matmul.New(n, n)
-	queue := newWorkQueue(plan.Chunks, p, shards)
-	live := trace.NewLive(p)
-	link := newMasterLink(opts.Link, p, live.Now)
-	perData := make([]float64, p)
-	perCells := make([]float64, p)
-
-	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			bucket := newTokenBucket(opts.Speeds[w]*rate, opts.Burst)
-			var bufs [2]struct{ a, b []float64 }
-
-			// fetch ships the chunk's inputs into buffer slot `slot`:
-			// the only elements this worker may read are the copies it
-			// just received. Under the link model the Comm span is the
-			// booked transfer window; otherwise it is the measured
-			// memcpy. Calls for one worker are strictly sequential
-			// (double-buffering keeps at most one in flight), so the
-			// per-worker ledgers need no locking.
-			fetch := func(c Chunk, slot int) staged {
-				bb := &bufs[slot]
-				var t0, t1 float64
-				if link != nil && !math.IsInf(link.rateFor(w), 1) {
-					t0, t1 = link.book(w, float64(c.Data()))
-					bb.a = append(bb.a[:0], a[c.RowLo:c.RowHi]...)
-					bb.b = append(bb.b[:0], b[c.ColLo:c.ColHi]...)
-					link.wait(t1)
-				} else {
-					t0 = live.Now()
-					bb.a = append(bb.a[:0], a[c.RowLo:c.RowHi]...)
-					bb.b = append(bb.b[:0], b[c.ColLo:c.ColHi]...)
-					t1 = live.Now()
-				}
-				live.Add(w, trace.Span{Kind: trace.Comm, Start: t0, End: t1,
-					Data: float64(c.Data()), Task: c.Task})
-				perData[w] += float64(c.Data())
-				return staged{c: c, aBuf: bb.a, bBuf: bb.b}
-			}
-
-			c, ok := queue.pop(w)
-			if !ok {
-				return
-			}
-			cur := 0
-			s := fetch(c, cur)
-			for {
-				// Claim and start shipping the next chunk before
-				// computing the current one, so the transfer hides
-				// under the compute span.
-				var pre chan staged
-				var next Chunk
-				var more bool
-				if opts.Prefetch {
-					if next, more = queue.pop(w); more {
-						pre = make(chan staged, 1)
-						go func(c Chunk, slot int) { pre <- fetch(c, slot) }(next, 1-cur)
-					}
-				}
-
-				// Compute: the token bucket stretches the span to the
-				// duration a speed-sᵢ processor would need.
-				cells := float64(s.c.Cells())
-				t0 := live.Now()
-				bucket.acquire(cells)
-				fillChunk(out, s.aBuf, s.bBuf, s.c)
-				t1 := live.Now()
-				live.Add(w, trace.Span{Kind: trace.Compute, Start: t0, End: t1,
-					Work: cells, Task: s.c.Task})
-				perCells[w] += cells
-
-				if opts.Prefetch {
-					if !more {
-						return
-					}
-					s = <-pre
-					cur = 1 - cur
-				} else {
-					if c, ok = queue.pop(w); !ok {
-						return
-					}
-					s = fetch(c, cur)
-				}
-			}
-		}(w)
+	planVolume := 0.0
+	for _, c := range plan.Chunks {
+		planVolume += float64(c.Data())
 	}
-	wg.Wait()
 
-	tl := live.Timeline()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r := &runner{
+		opts:     opts,
+		a:        a,
+		b:        b,
+		n:        n,
+		rate:     rate,
+		out:      matmul.New(n, n),
+		live:     trace.NewLive(p),
+		link:     newMasterLink(opts.Link, p, nil),
+		perData:  make([]float64, p),
+		perCells: make([]float64, p),
+		ctx:      runCtx,
+		cancel:   cancel,
+	}
+	if r.link != nil {
+		r.link.now = r.live.Now
+	}
+
+	var body func(int)
+	var cq *chaosQueue
+	if chaosOn {
+		cs := compileChaos(opts.Chaos, p)
+		cq = newChaosQueue(plan.Chunks, p, shards, opts.Chaos.SpeculateAfter)
+		if r.link != nil {
+			r.link.slowdown = cs.linkScale
+		}
+		body = func(w int) { r.chaosWorker(w, cs, cq) }
+	} else {
+		queue := newWorkQueue(plan.Chunks, p, shards)
+		body = func(w int) { r.fastWorker(w, queue) }
+	}
+	for w := 0; w < p; w++ {
+		r.wg.Add(1)
+		go r.guard(w, body)
+	}
+	r.wg.Wait()
+
+	if err := r.runErr(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if chaosOn {
+		// The recovery ledger must close exactly (integer-valued sums):
+		// the committed chunks tile the domain cell-for-cell, the
+		// committed volume equals the survivor-re-planned closed form,
+		// and every shipped element is either committed or accounted
+		// waste.
+		sort.Slice(r.committedChunks, func(i, j int) bool { return r.committedChunks[i].Task < r.committedChunks[j].Task })
+		if err := checkTiling(n, r.committedChunks); err != nil {
+			return nil, fmt.Errorf("runtime: committed chunks violate exactly-once: %w", err)
+		}
+		replanned := planVolume + r.replanExtra
+		if r.committedVolume != replanned {
+			return nil, fmt.Errorf("runtime: committed volume %v ≠ survivor-re-planned closed form %v", r.committedVolume, replanned)
+		}
+	}
+
+	tl := r.live.Timeline()
 	rep := &Report{
 		Strategy:          plan.Strategy,
 		N:                 n,
@@ -263,18 +419,33 @@ func Run(plan *StrategyPlan, a, b []float64, opts Options) (*Report, error) {
 		Workers:           p,
 		Chunks:            len(plan.Chunks),
 		Predicted:         plan.Predicted,
-		WorkCells:         float64(totalCells),
+		WorkCells:         float64(n * n),
 		Makespan:          tl.Makespan,
-		PerWorkerData:     perData,
-		PerWorkerCells:    perCells,
+		PerWorkerData:     r.perData,
+		PerWorkerCells:    r.perCells,
 		PerWorkerCommTime: tl.CommTimes(),
 		LinkUtilization:   make([]float64, p),
 		LinkCapacity:      math.Max(opts.Link.ElemsPerSecond, 0),
-		Out:               out,
+		Chaos:             chaosOn,
+		RetriedChunks:     r.retried,
+		SpeculativeWins:   r.specWins,
+		DegradedWorkers:   r.degraded,
+		ReclaimedCells:    float64(r.reclaimedCells),
+		PlanVolume:        planVolume,
+		CommittedVolume:   r.committedVolume,
+		ReplannedVolume:   planVolume + r.replanExtra,
+		WastedData:        r.wastedData,
+		WastedWorkCells:   r.wastedWork,
+		LostWorkCells:     r.lostWork,
+		Out:               r.out,
 		Trace:             tl,
 	}
-	for _, d := range perData {
+	for _, d := range r.perData {
 		rep.DataVolume += d
+	}
+	if chaosOn && rep.DataVolume != rep.CommittedVolume+rep.WastedData {
+		return nil, fmt.Errorf("runtime: shipping ledger leaks: measured %v ≠ committed %v + wasted %v",
+			rep.DataVolume, rep.CommittedVolume, rep.WastedData)
 	}
 	overlap := 0.0
 	for w, ct := range rep.PerWorkerCommTime {
@@ -292,12 +463,111 @@ func Run(plan *StrategyPlan, a, b []float64, opts Options) (*Report, error) {
 	if opts.VerifyEvery > 0 {
 		for idx := 0; idx < n*n; idx += opts.VerifyEvery {
 			i, j := idx/n, idx%n
-			if want := a[i] * b[j]; out.Data[idx] != want {
-				return nil, fmt.Errorf("runtime: output cell (%d,%d) = %v, want %v", i, j, out.Data[idx], want)
+			if want := a[i] * b[j]; r.out.Data[idx] != want {
+				return nil, fmt.Errorf("runtime: output cell (%d,%d) = %v, want %v", i, j, r.out.Data[idx], want)
 			}
 		}
 	}
 	return rep, nil
+}
+
+// fastWorker is the fault-free worker loop (the original hot path — no
+// leases, no locks beyond the queue stripes). Cancellation is honored at
+// chunk boundaries.
+func (r *runner) fastWorker(w int, queue *workQueue) {
+	opts := r.opts
+	bucket := newTokenBucket(opts.Speeds[w]*r.rate, opts.Burst)
+	var bufs [2]struct{ a, b []float64 }
+
+	// fetch ships the chunk's inputs into buffer slot `slot`: the only
+	// elements this worker may read are the copies it just received.
+	// Under the link model the Comm span is the booked transfer window;
+	// otherwise it is the measured memcpy. Calls for one worker are
+	// strictly sequential (double-buffering keeps at most one in
+	// flight), so the per-worker ledgers need no locking.
+	fetch := func(c Chunk, slot int) staged {
+		bb := &bufs[slot]
+		var t0, t1 float64
+		if r.link != nil && !math.IsInf(r.link.rateFor(w), 1) {
+			t0, t1 = r.link.book(w, float64(c.Data()))
+			bb.a = append(bb.a[:0], r.a[c.RowLo:c.RowHi]...)
+			bb.b = append(bb.b[:0], r.b[c.ColLo:c.ColHi]...)
+			r.link.wait(t1)
+		} else {
+			t0 = r.live.Now()
+			bb.a = append(bb.a[:0], r.a[c.RowLo:c.RowHi]...)
+			bb.b = append(bb.b[:0], r.b[c.ColLo:c.ColHi]...)
+			t1 = r.live.Now()
+		}
+		r.live.Add(w, trace.Span{Kind: trace.Comm, Start: t0, End: t1,
+			Data: float64(c.Data()), Task: c.Task})
+		r.perData[w] += float64(c.Data())
+		return staged{c: c, aBuf: bb.a, bBuf: bb.b}
+	}
+
+	c, ok := queue.pop(w)
+	if !ok {
+		return
+	}
+	if hook := opts.testHookChunkStart; hook != nil {
+		hook(w, c)
+	}
+	cur := 0
+	s := fetch(c, cur)
+	for {
+		if r.ctx.Err() != nil {
+			return
+		}
+		// Claim and start shipping the next chunk before computing the
+		// current one, so the transfer hides under the compute span.
+		var pre chan staged
+		var next Chunk
+		var more bool
+		if opts.Prefetch {
+			if next, more = queue.pop(w); more {
+				pre = make(chan staged, 1)
+				go func(c Chunk, slot int) {
+					defer func() {
+						if rec := recover(); rec != nil {
+							r.fail(fmt.Errorf("%w: worker %d prefetch panicked: %v", ErrWorkerFailed, w, rec))
+							close(pre)
+						}
+					}()
+					pre <- fetch(c, slot)
+				}(next, 1-cur)
+			}
+		}
+
+		// Compute: the token bucket stretches the span to the duration a
+		// speed-sᵢ processor would need.
+		cells := float64(s.c.Cells())
+		t0 := r.live.Now()
+		bucket.acquire(cells)
+		fillChunk(r.out, s.aBuf, s.bBuf, s.c)
+		t1 := r.live.Now()
+		r.live.Add(w, trace.Span{Kind: trace.Compute, Start: t0, End: t1,
+			Work: cells, Task: s.c.Task})
+		r.perCells[w] += cells
+
+		if opts.Prefetch {
+			if !more {
+				return
+			}
+			var ok2 bool
+			if s, ok2 = <-pre; !ok2 {
+				return // prefetch goroutine died; the run is already failed
+			}
+			cur = 1 - cur
+		} else {
+			if c, ok = queue.pop(w); !ok {
+				return
+			}
+			if hook := opts.testHookChunkStart; hook != nil {
+				hook(w, c)
+			}
+			s = fetch(c, cur)
+		}
+	}
 }
 
 // fillChunk writes the chunk's rectangle of the outer product from the

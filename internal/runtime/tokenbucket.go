@@ -31,7 +31,15 @@ func newTokenBucket(rate, burst float64) *tokenBucket {
 }
 
 // acquire blocks until n tokens are available and consumes them.
-func (tb *tokenBucket) acquire(n float64) {
+func (tb *tokenBucket) acquire(n float64) { tb.acquireWithin(n, -1) }
+
+// acquireWithin is acquire with a deadline: it consumes n tokens and
+// returns true if they can be paid for within `budget` of sleeping, or
+// sleeps exactly the budget and returns false — the chunk was cut short.
+// A negative budget means no deadline. The chaos layer uses the budget to
+// realize crashes mid-compute: the worker pays tokens toward the chunk
+// until its crash instant lands, then dies with the chunk unfinished.
+func (tb *tokenBucket) acquireWithin(n float64, budget time.Duration) bool {
 	now := time.Now()
 	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
 	tb.last = now
@@ -40,6 +48,10 @@ func (tb *tokenBucket) acquire(n float64) {
 	}
 	if tb.tokens < n {
 		wait := time.Duration((n - tb.tokens) / tb.rate * float64(time.Second))
+		interrupted := budget >= 0 && wait > budget
+		if interrupted {
+			wait = budget
+		}
 		time.Sleep(wait)
 		now = time.Now()
 		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
@@ -53,6 +65,13 @@ func (tb *tokenBucket) acquire(n float64) {
 		if lim := math.Max(n, tb.burst); tb.tokens > lim {
 			tb.tokens = lim
 		}
+		if interrupted {
+			// The partial payment is forfeited with the chunk: whoever
+			// re-runs it pays the full area again (lost work, not a
+			// discount), and this bucket keeps only its clamped balance.
+			return false
+		}
 	}
 	tb.tokens -= n
+	return true
 }

@@ -40,6 +40,11 @@ const (
 	// bandwidth — a run shipping data faster than the modeled network
 	// admits.
 	LinkCapacityExceeded
+	// DuplicateCommit is one task committed (OK Compute span) more than
+	// once — a broken first-writer-wins race under retries/speculation.
+	// Losing copies must be recorded Wasted, crashed ones Killed; exactly
+	// one OK span per task may exist.
+	DuplicateCommit
 )
 
 // String implements fmt.Stringer.
@@ -61,6 +66,8 @@ func (k ViolationKind) String() string {
 		return "imbalance"
 	case LinkCapacityExceeded:
 		return "link-capacity"
+	case DuplicateCommit:
+		return "duplicate-commit"
 	default:
 		return fmt.Sprintf("violation(%d)", int(k))
 	}
@@ -145,6 +152,12 @@ type Expect struct {
 	// ImbalanceTarget, when positive, caps the compute-time imbalance
 	// (the paper's Comm_hom/k rule uses 0.01).
 	ImbalanceTarget float64
+
+	// ExactlyOnce, when set, requires every task id (≥ 0) to appear in at
+	// most one OK Compute span across the whole timeline. Retries,
+	// speculation and reclamation may re-run a task any number of times,
+	// but only one copy may commit; the rest must be Wasted or Killed.
+	ExactlyOnce bool
 
 	// LinkCapacity, when positive, is the aggregate master-link bandwidth
 	// in data units per second. Check sweeps every comm span (each open
@@ -290,6 +303,33 @@ func Check(tl *Timeline, exp *Expect) []Violation {
 	if exp.LinkCapacity > 0 {
 		vs = append(vs, checkLinkCapacity(tl, exp.LinkCapacity, tol)...)
 	}
+	if exp.ExactlyOnce {
+		vs = append(vs, checkExactlyOnce(tl)...)
+	}
+	return vs
+}
+
+// checkExactlyOnce flags every task id committed by more than one OK
+// Compute span — the invariant a resilient executor must uphold no
+// matter how many times retries, speculation or reclamation re-issued
+// the task.
+func checkExactlyOnce(tl *Timeline) []Violation {
+	var vs []Violation
+	committedBy := map[int]int{} // task → worker of the first OK commit
+	for w, spans := range tl.Spans {
+		for _, s := range spans {
+			if s.Kind != Compute || s.Outcome != OK || s.Task < 0 {
+				continue
+			}
+			if first, dup := committedBy[s.Task]; dup {
+				vs = append(vs, Violation{Kind: DuplicateCommit, Worker: w, Task: s.Task,
+					Detail: fmt.Sprintf("task committed twice (first by worker %d)", first)})
+				continue
+			}
+			committedBy[s.Task] = w
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Task < vs[j].Task })
 	return vs
 }
 

@@ -1,0 +1,57 @@
+package trace
+
+import "testing"
+
+// exactlyOnceTimeline builds a two-worker timeline in which task 0 was
+// retried (a Killed copy), task 1 was speculated (a Wasted losing copy)
+// and every task nonetheless committed exactly once.
+func exactlyOnceTimeline() *Timeline {
+	tl := New(2)
+	tl.Add(0, Span{Kind: Compute, Start: 0, End: 1, Work: 4, Task: 0, Outcome: Killed})
+	tl.Add(1, Span{Kind: Compute, Start: 1, End: 2, Work: 4, Task: 0, Outcome: OK})
+	tl.Add(0, Span{Kind: Compute, Start: 1, End: 3, Work: 4, Task: 1, Outcome: Wasted})
+	tl.Add(1, Span{Kind: Compute, Start: 2, End: 3, Work: 4, Task: 1, Outcome: OK})
+	tl.Makespan = 3
+	return tl
+}
+
+func TestCheckExactlyOnceCleanUnderRetriesAndSpeculation(t *testing.T) {
+	tl := exactlyOnceTimeline()
+	vs := Check(tl, &Expect{ExactlyOnce: true})
+	if len(vs) != 0 {
+		t.Fatalf("clean resilient timeline flagged: %v", vs)
+	}
+}
+
+// TestCheckExactlyOnceTripsOnDoubleCommit is the broken-runtime negative
+// test: an executor that lets both copies of a speculated task commit
+// (two OK spans for one task id) must trip the oracle.
+func TestCheckExactlyOnceTripsOnDoubleCommit(t *testing.T) {
+	tl := exactlyOnceTimeline()
+	// The losing copy of task 1 "commits" too — first-writer-wins broke.
+	tl.Spans[0][1].Outcome = OK
+	vs := Check(tl, &Expect{ExactlyOnce: true})
+	if len(vs) != 1 {
+		t.Fatalf("double commit: got %d violations (%v), want 1", len(vs), vs)
+	}
+	if vs[0].Kind != DuplicateCommit || vs[0].Task != 1 {
+		t.Fatalf("double commit flagged as %v, want %v on task 1", vs[0], DuplicateCommit)
+	}
+}
+
+func TestCheckExactlyOnceIgnoresNegativeTasksAndIsOptIn(t *testing.T) {
+	tl := New(1)
+	// Task -1 is "no task"; two OK spans with it are not a duplicate.
+	tl.Add(0, Span{Kind: Compute, Start: 0, End: 1, Work: 1, Task: -1, Outcome: OK})
+	tl.Add(0, Span{Kind: Compute, Start: 1, End: 2, Work: 1, Task: -1, Outcome: OK})
+	// A genuine duplicate, but ExactlyOnce is off.
+	tl.Add(0, Span{Kind: Compute, Start: 2, End: 3, Work: 1, Task: 7, Outcome: OK})
+	tl.Add(0, Span{Kind: Compute, Start: 3, End: 4, Work: 1, Task: 7, Outcome: OK})
+	tl.Makespan = 4
+	if vs := Check(tl, &Expect{ExactlyOnce: true}); len(vs) != 1 {
+		t.Fatalf("want exactly the task-7 duplicate, got %v", vs)
+	}
+	if vs := Check(tl, &Expect{}); len(vs) != 0 {
+		t.Fatalf("ExactlyOnce off must not flag duplicates, got %v", vs)
+	}
+}
