@@ -1,20 +1,33 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
+	"os/signal"
 
 	"nlfl/internal/bench"
 	"nlfl/internal/results"
 )
 
+// benchContext is the cancellation root of every sweep: the first SIGINT
+// cancels it (sweeps stop at the next boundary with nothing written), a
+// second SIGINT kills the process the usual way.
+func benchContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
+}
+
 // runBench drives the measured-performance harness: tiled kernels, the
 // demand-driven worker-pool runtime across platforms and strategies, the
-// bandwidth-modeled link sweep, and the chaos sweep (one injected fault
-// scenario per class, survived with a clean exactly-once ledger), every
-// measured volume cross-checked against the paper's closed forms and
-// every runtime trace audited by the invariant oracle — emitting
-// BENCH_kernels.json, BENCH_runtime.json, BENCH_link.json and
-// BENCH_chaos.json (see docs/PERFORMANCE.md).
+// bandwidth-modeled link sweep, the chaos sweep (one injected fault
+// scenario per class, survived with a clean exactly-once ledger), and
+// the multi-tenant fleet-service sweep (Poisson arrivals per policy and
+// load, with a chaos-isolation entry) — every measured volume
+// cross-checked against the paper's closed forms and every trace audited
+// by the invariant oracle — emitting BENCH_kernels.json,
+// BENCH_runtime.json, BENCH_link.json, BENCH_chaos.json and
+// BENCH_service.json (see docs/PERFORMANCE.md). Ctrl-C stops the run at
+// the next sweep boundary without writing partial artifacts.
 func runBench(args []string) error {
 	fs := newFlagSet("bench")
 	seed := fs.Int64("seed", 42, "random seed (identical seeds reproduce identical geometry and volumes)")
@@ -22,11 +35,15 @@ func runBench(args []string) error {
 	quick := fs.Bool("quick", false, "reduced CI configuration: smaller sizes, fewer platforms")
 	rate := fs.Float64("rate", 0, "token-bucket rate scale in cells/second for a speed-1 worker (0 = default 2e6)")
 	chaosOnly := fs.Bool("chaos", false, "run (or with -validate, check) only the chaos sweep")
+	serviceOnly := fs.Bool("service", false, "run (or with -validate, check) only the fleet-service sweep")
 	validate := fs.Bool("validate", false, "validate existing BENCH_*.json in -out instead of running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	_, _, _, chaosPath := bench.Paths(*out)
+	if *chaosOnly && *serviceOnly {
+		return fmt.Errorf("bench: -chaos and -service are mutually exclusive")
+	}
+	_, _, _, chaosPath, servicePath := bench.Paths(*out)
 	if *validate {
 		if *chaosOnly {
 			cf, err := results.LoadBenchChaos(chaosPath)
@@ -39,16 +56,29 @@ func runBench(args []string) error {
 			fmt.Println("BENCH_chaos.json: schema ok, ledger exact, recovery counters nonzero, zero violations")
 			return nil
 		}
+		if *serviceOnly {
+			sf, err := results.LoadBenchService(servicePath)
+			if err != nil {
+				return err
+			}
+			if err := bench.ValidateService(sf); err != nil {
+				return err
+			}
+			fmt.Println("BENCH_service.json: schema ok, policy gate holds, chaos isolation exact, zero violations")
+			return nil
+		}
 		if err := bench.ValidateFiles(*out); err != nil {
 			return err
 		}
-		fmt.Println("BENCH_kernels.json, BENCH_runtime.json, BENCH_link.json, BENCH_chaos.json: schema ok, volumes within tolerance, zero violations")
+		fmt.Println("BENCH_kernels.json, BENCH_runtime.json, BENCH_link.json, BENCH_chaos.json, BENCH_service.json: schema ok, volumes within tolerance, zero violations")
 		return nil
 	}
 
+	ctx, stop := benchContext()
+	defer stop()
 	cfg := bench.Config{Seed: *seed, Quick: *quick, WorkPerSecond: *rate}
 	if *chaosOnly {
-		cf, err := bench.RunChaosSweep(cfg)
+		cf, err := bench.RunChaosSweep(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -62,8 +92,23 @@ func runBench(args []string) error {
 		fmt.Printf("\nwrote %s (every scenario survived, ledger exact, zero trace violations)\n", chaosPath)
 		return nil
 	}
+	if *serviceOnly {
+		sf, err := bench.RunServiceSweep(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		if err := bench.ValidateService(sf); err != nil {
+			return err
+		}
+		if err := results.SaveBenchService(servicePath, sf); err != nil {
+			return err
+		}
+		printService(sf)
+		fmt.Printf("\nwrote %s (policy gate holds, chaos isolation exact, zero trace violations)\n", servicePath)
+		return nil
+	}
 
-	kernelsPath, runtimePath, linkPath, chaosPath, err := bench.Run(cfg, *out)
+	kernelsPath, runtimePath, linkPath, chaosPath, servicePath, err := bench.Run(ctx, cfg, *out)
 	if err != nil {
 		return err
 	}
@@ -106,8 +151,14 @@ func runBench(args []string) error {
 	}
 	fmt.Println()
 	printChaos(cf)
-	fmt.Printf("\nwrote %s, %s, %s and %s (all volumes within tolerance, zero trace violations)\n",
-		kernelsPath, runtimePath, linkPath, chaosPath)
+	sf, err := results.LoadBenchService(servicePath)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	printService(sf)
+	fmt.Printf("\nwrote %s, %s, %s, %s and %s (all volumes within tolerance, zero trace violations)\n",
+		kernelsPath, runtimePath, linkPath, chaosPath, servicePath)
 	return nil
 }
 
@@ -121,5 +172,19 @@ func printChaos(cf results.ChaosBenchFile) {
 		fmt.Printf("  %-12s %-12s %-6s %10.1f %10.1f %10.1f %8.1f %5d %5d %5d %9.0f\n",
 			e.Platform, e.Class, e.Strategy, e.PlanVolume, e.ReplannedVolume, e.CommittedVolume,
 			e.WastedData, e.RetriedChunks, e.SpeculativeWins, e.DegradedWorkers, e.ReclaimedCells)
+	}
+}
+
+// printService renders the fleet-service sweep: per (policy, load), the
+// admission counters and latency quantiles of the Poisson run.
+func printService(sf results.ServiceBenchFile) {
+	fmt.Printf("service sweep (rate %.3g cells/s per unit speed, Poisson arrivals, %d workers):\n",
+		sf.WorkPerSecond, len(sf.Speeds))
+	fmt.Printf("  %-6s %5s %6s %5s %5s %5s %5s %9s %9s %9s %9s\n",
+		"policy", "load", "chaos", "jobs", "rej", "done", "fail", "jobs/s", "p50", "p99", "max")
+	for _, e := range sf.Entries {
+		fmt.Printf("  %-6s %5.2f %6v %5d %5d %5d %5d %9.2f %9.4f %9.4f %9.4f\n",
+			e.Policy, e.LoadFactor, e.Chaos, e.Jobs, e.Rejected, e.Completed, e.Failed,
+			e.ThroughputJobsPerSec, e.LatencyP50, e.LatencyP99, e.LatencyMax)
 	}
 }

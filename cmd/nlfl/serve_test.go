@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nlfl/internal/service"
+)
+
+// TestServeMux drives the HTTP façade end to end against a real fleet:
+// submit, poll to completion, read the accounts and the health page, and
+// watch admission shed when the queue is full.
+func TestServeMux(t *testing.T) {
+	fleet, err := service.New(service.Config{
+		Speeds:        []float64{1, 2},
+		WorkPerSecond: 5e5,
+		MaxQueue:      2,
+		TenantQuota:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	st := &serveState{fleet: fleet, jobs: map[int64]*service.JobHandle{}}
+	ts := httptest.NewServer(newServeMux(st))
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, map[string]int64) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]int64
+		if resp.StatusCode == http.StatusAccepted {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		resp.Body.Close()
+		return resp, out
+	}
+
+	resp, ids := post(`{"tenant":"a","n":32,"strategy":"het","seed":1}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: got %d, want 202", resp.StatusCode)
+	}
+	id := ids["id"]
+
+	var status jobStatus
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/jobs?id=" + jsonNum(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if status.State != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish in 10s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if status.State != "done" || status.Err != "" {
+		t.Fatalf("job state %q err %q, want done", status.State, status.Err)
+	}
+	if status.CommittedVolume != status.PlanVolume || status.PlanVolume <= 0 {
+		t.Fatalf("fault-free ledger not exact: committed %v plan %v",
+			status.CommittedVolume, status.PlanVolume)
+	}
+
+	// A bad spec is a 400, not an admission rejection.
+	if resp, _ := post(`{"tenant":"a","n":-5}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec: got %d, want 400", resp.StatusCode)
+	}
+	// Unknown ids are 404.
+	if resp, err := http.Get(ts.URL + "/jobs?id=99999"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: got %v %v, want 404", resp.StatusCode, err)
+	}
+
+	var acc service.FleetReport
+	resp2, err := http.Get(ts.URL + "/accounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if acc.Completed < 1 || len(acc.Tenants) == 0 {
+		t.Fatalf("accounts: completed %d tenants %d", acc.Completed, len(acc.Tenants))
+	}
+
+	resp3, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Workers int                   `json:"workers"`
+		Health  []service.WorkerState `json:"health"`
+	}
+	if err := json.NewDecoder(resp3.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if hz.Workers != 2 || len(hz.Health) != 2 {
+		t.Fatalf("healthz: workers %d health %d, want 2", hz.Workers, len(hz.Health))
+	}
+}
+
+// TestServeAdmissionSheds fills the bounded queue with slow jobs and
+// checks the façade answers 429, the backpressure contract.
+func TestServeAdmissionSheds(t *testing.T) {
+	fleet, err := service.New(service.Config{
+		Speeds:        []float64{1},
+		WorkPerSecond: 2e3, // slow on purpose: jobs stay in-flight
+		MaxQueue:      2,
+		TenantQuota:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	st := &serveState{fleet: fleet, jobs: map[int64]*service.JobHandle{}}
+	ts := httptest.NewServer(newServeMux(st))
+	defer ts.Close()
+
+	codes := make([]int, 0, 3)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json",
+			strings.NewReader(`{"tenant":"flood","n":48}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	if codes[0] != http.StatusAccepted || codes[1] != http.StatusAccepted {
+		t.Fatalf("first two submits: got %v, want 202s", codes)
+	}
+	if codes[2] != http.StatusTooManyRequests {
+		t.Fatalf("third submit: got %d, want 429", codes[2])
+	}
+}
+
+func jsonNum(id int64) string {
+	b, _ := json.Marshal(id)
+	return string(b)
+}

@@ -1,16 +1,18 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"testing"
 
 	"nlfl/internal/results"
+	"nlfl/internal/service"
 )
 
 func TestRunQuickEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	cfg := Config{Seed: 42, Quick: true}
-	kernelsPath, runtimePath, linkPath, chaosPath, err := Run(cfg, dir)
+	kernelsPath, runtimePath, linkPath, chaosPath, servicePath, err := Run(context.Background(), cfg, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,6 +94,21 @@ func TestRunQuickEndToEnd(t *testing.T) {
 			t.Errorf("chaos sweep missing fault class %q", want)
 		}
 	}
+
+	sf, err := results.LoadBenchService(servicePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick config: 3 policies × 2 loads + 1 chaos entry.
+	if len(sf.Entries) != 7 {
+		t.Fatalf("service file has %d entries, want 7", len(sf.Entries))
+	}
+	for _, e := range sf.Entries {
+		if e.Violations != 0 {
+			t.Errorf("service %s load=%.2f: %d invariant violations in a passing run",
+				e.Policy, e.LoadFactor, e.Violations)
+		}
+	}
 }
 
 // TestRuntimeVolumesDeterministic regenerates the runtime sweep and checks
@@ -99,11 +116,11 @@ func TestRunQuickEndToEnd(t *testing.T) {
 // volumes — is identical across runs, while timings are free to differ.
 func TestRuntimeVolumesDeterministic(t *testing.T) {
 	cfg := Config{Seed: 7, Quick: true}
-	f1, err := RunRuntime(cfg)
+	f1, err := RunRuntime(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f2, err := RunRuntime(cfg)
+	f2, err := RunRuntime(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,6 +244,138 @@ func TestValidateRejectsBrokenFiles(t *testing.T) {
 		if err := ValidateChaos(f); !errors.Is(err, ErrInvalidBench) {
 			t.Errorf("chaos %s: broken entry accepted: %v", name, err)
 		}
+	}
+
+	goodService := func(policy string, chaos bool, p99 float64) results.ServiceBenchEntry {
+		e := results.ServiceBenchEntry{
+			Policy: policy, LoadFactor: 0.9, LambdaJobsPerSec: 50, Chaos: chaos,
+			Jobs: 10, Admitted: 10, Completed: 10,
+			Makespan: 1, ThroughputJobsPerSec: 10,
+			LatencyP50: p99 / 2, LatencyP99: p99, LatencyMean: p99 / 2, LatencyMax: p99,
+			Tenants: []results.ServiceTenantStat{
+				{Tenant: "tenant-a", Submitted: 10, Admitted: 10, Completed: 10, PlanVolume: 100, CommittedVolume: 100},
+			},
+		}
+		if chaos {
+			e.Tenants = append(e.Tenants, results.ServiceTenantStat{
+				Tenant: serviceChaosTenant, Submitted: 5, Admitted: 5, Completed: 5,
+				PlanVolume: 50, ReplannedVolume: 10, CommittedVolume: 60, WastedData: 4, ReclaimedCells: 16,
+			})
+		}
+		return e
+	}
+	serviceEntries := func() []results.ServiceBenchEntry {
+		return []results.ServiceBenchEntry{
+			goodService("fifo", false, 0.4),
+			goodService("srpt", false, 0.1),
+			goodService("ii", false, 0.2),
+			goodService("srpt", true, 0.1),
+		}
+	}
+	serviceBase := results.ServiceBenchFile{
+		Schema: results.BenchServiceSchema, WorkPerSecond: 3e4, Speeds: []float64{1, 2},
+		Entries: serviceEntries(),
+	}
+	if err := ValidateService(serviceBase); err != nil {
+		t.Fatalf("well-formed service file rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*results.ServiceBenchFile){
+		"wrong-schema":   func(f *results.ServiceBenchFile) { f.Schema = "wrong" },
+		"no-entries":     func(f *results.ServiceBenchFile) { f.Entries = nil },
+		"nan-p99":        func(f *results.ServiceBenchFile) { f.Entries[0].LatencyP99 = nan() },
+		"quantile-order": func(f *results.ServiceBenchFile) { f.Entries[0].LatencyP50 = 1 },
+		"admission-math": func(f *results.ServiceBenchFile) { f.Entries[0].Rejected = 3 },
+		"lost-jobs":      func(f *results.ServiceBenchFile) { f.Entries[0].Completed = 9 },
+		"violations":     func(f *results.ServiceBenchFile) { f.Entries[0].Violations = 1 },
+		"srpt-loses":     func(f *results.ServiceBenchFile) { f.Entries[1].LatencyP99 = 0.5 },
+		"ii-loses":       func(f *results.ServiceBenchFile) { f.Entries[2].LatencyP99 = 0.5 },
+		"no-chaos-entry": func(f *results.ServiceBenchFile) { f.Entries = f.Entries[:3] },
+		"chaos-did-not-bite": func(f *results.ServiceBenchFile) {
+			f.Entries[3].Tenants[1].ReclaimedCells = 0
+		},
+		"bystander-dirtied": func(f *results.ServiceBenchFile) {
+			f.Entries[3].Tenants[0].WastedData = 8
+		},
+		"bystander-inexact": func(f *results.ServiceBenchFile) {
+			f.Entries[3].Tenants[0].CommittedVolume = 90
+		},
+	} {
+		f := serviceBase
+		f.Entries = serviceEntries()
+		mutate(&f)
+		if err := ValidateService(f); !errors.Is(err, ErrInvalidBench) {
+			t.Errorf("service %s: broken file accepted: %v", name, err)
+		}
+	}
+}
+
+// TestSweepsHonorCancelledContext pins satellite behavior for the CLI's
+// SIGINT handling: every sweep returns promptly with the ctx error
+// instead of grinding through its grid.
+func TestSweepsHonorCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Seed: 1, Quick: true}
+	if _, err := RunKernels(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunKernels under cancelled ctx: %v", err)
+	}
+	if _, err := RunRuntime(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunRuntime under cancelled ctx: %v", err)
+	}
+	if _, err := RunLinkSweep(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunLinkSweep under cancelled ctx: %v", err)
+	}
+	if _, err := RunChaosSweep(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunChaosSweep under cancelled ctx: %v", err)
+	}
+	if _, err := RunServiceSweep(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunServiceSweep under cancelled ctx: %v", err)
+	}
+	if _, _, _, _, _, err := Run(ctx, cfg, t.TempDir()); !errors.Is(err, context.Canceled) {
+		t.Errorf("Run under cancelled ctx: %v", err)
+	}
+}
+
+// TestServiceChaosSmoke is the CI race-detector smoke: a short Poisson
+// stream through the fleet where one tenant's jobs carry a crash
+// scenario. It asserts the chaos bit, the isolation of the bystander
+// tenants, and a clean trace audit — the service sweep's contract at a
+// fraction of its runtime.
+func TestServiceChaosSmoke(t *testing.T) {
+	load := 0.6
+	lambda := load * serviceFleetCapacity() / serviceMeanCells()
+	entry, err := runServiceEntry(context.Background(), 42, service.PolicySRPT, load, lambda, 24, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Completed+entry.Failed != entry.Admitted {
+		t.Fatalf("lost jobs: completed %d + failed %d ≠ admitted %d",
+			entry.Completed, entry.Failed, entry.Admitted)
+	}
+	if entry.Violations != 0 {
+		t.Fatalf("%d trace violations", entry.Violations)
+	}
+	var sawChaosTenant bool
+	for _, ta := range entry.Tenants {
+		if ta.Tenant == serviceChaosTenant {
+			sawChaosTenant = true
+			if ta.ReclaimedCells <= 0 || ta.ReplannedVolume <= 0 {
+				t.Errorf("chaos left no trace on tenant %q (reclaimed %v, replanned %v)",
+					ta.Tenant, ta.ReclaimedCells, ta.ReplannedVolume)
+			}
+			continue
+		}
+		if ta.WastedData != 0 || ta.ReclaimedCells != 0 || ta.Failed != 0 {
+			t.Errorf("bystander %s dirtied: waste %v reclaimed %v failed %d",
+				ta.Tenant, ta.WastedData, ta.ReclaimedCells, ta.Failed)
+		}
+		if ta.CommittedVolume != ta.PlanVolume {
+			t.Errorf("bystander %s ledger inexact: committed %v ≠ planned %v",
+				ta.Tenant, ta.CommittedVolume, ta.PlanVolume)
+		}
+	}
+	if !sawChaosTenant {
+		t.Fatal("no chaos tenant in the breakdown")
 	}
 }
 

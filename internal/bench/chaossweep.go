@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	goruntime "runtime"
@@ -99,8 +100,9 @@ func chaosPlatforms(quick bool) []benchPlatform {
 // exactly-once oracle, cross-checks the volume ledger against the
 // survivor-re-planned plan, and returns the BENCH_chaos payload. A
 // scenario the pool does not survive — or survives with a dirty ledger —
-// is an error, not a data point.
-func RunChaosSweep(cfg Config) (results.ChaosBenchFile, error) {
+// is an error, not a data point. A cancelled ctx aborts the in-flight
+// run and stops the sweep.
+func RunChaosSweep(ctx context.Context, cfg Config) (results.ChaosBenchFile, error) {
 	file := results.ChaosBenchFile{
 		Schema:        results.BenchChaosSchema,
 		Seed:          cfg.Seed,
@@ -119,6 +121,9 @@ func RunChaosSweep(cfg Config) (results.ChaosBenchFile, error) {
 			return file, err
 		}
 		for _, cc := range chaosCases() {
+			if err := ctx.Err(); err != nil {
+				return file, err
+			}
 			var plan *nrt.StrategyPlan
 			if cc.strategy == "het" {
 				plan, err = nrt.PlanHet(pl, chaosN)
@@ -128,7 +133,7 @@ func RunChaosSweep(cfg Config) (results.ChaosBenchFile, error) {
 			if err != nil {
 				return file, fmt.Errorf("bench: %s/%s plan: %w", bp.name, cc.class, err)
 			}
-			rep, err := nrt.Run(plan, a, b, nrt.Options{
+			rep, err := nrt.RunContext(ctx, plan, a, b, nrt.Options{
 				Speeds:        bp.speeds,
 				WorkPerSecond: chaosRate,
 				// Burst 1: no banked credit, so every worker pays honest

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -62,8 +63,9 @@ func maxAbsDiff(a, b *matmul.Matrix) float64 {
 // RunKernels measures the dense kernels and returns the BENCH_kernels
 // payload. Every non-reference kernel is checked element-wise against the
 // naive reference on the same seeded inputs; a deviation above 1e-12
-// fails the harness rather than producing an unchecked number.
-func RunKernels(cfg Config) (results.KernelBenchFile, error) {
+// fails the harness rather than producing an unchecked number. A
+// cancelled ctx stops the sweep at the next kernel boundary.
+func RunKernels(ctx context.Context, cfg Config) (results.KernelBenchFile, error) {
 	file := results.KernelBenchFile{
 		Schema:        results.BenchKernelsSchema,
 		Seed:          cfg.Seed,
@@ -74,6 +76,9 @@ func RunKernels(cfg Config) (results.KernelBenchFile, error) {
 	}
 	workerCounts := []int{1, 2, 4}
 	for _, n := range kernelSizes(cfg.Quick) {
+		if err := ctx.Err(); err != nil {
+			return file, err
+		}
 		a := matmul.Random(n, n, cfg.Seed)
 		b := matmul.Random(n, n, cfg.Seed+1)
 		ref, err := matmul.Naive(a, b)
@@ -122,6 +127,9 @@ func RunKernels(cfg Config) (results.KernelBenchFile, error) {
 		}
 
 		for _, w := range workerCounts {
+			if err := ctx.Err(); err != nil {
+				return file, err
+			}
 			par, err := matmul.ParallelTiled(a, b, w)
 			if err != nil {
 				return file, err

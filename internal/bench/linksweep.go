@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	goruntime "runtime"
 
@@ -46,8 +47,9 @@ func linkPlatforms(quick bool) []benchPlatform {
 // included — and gates the paper's headline claim: at the most
 // constrained bandwidth on a heterogeneous platform, the lower-volume
 // het plan must finish strictly faster than hom. Any violation or a
-// het-no-faster outcome is an error, not a data point.
-func RunLinkSweep(cfg Config) (results.LinkBenchFile, error) {
+// het-no-faster outcome is an error, not a data point. A cancelled ctx
+// aborts the in-flight run and stops the sweep.
+func RunLinkSweep(ctx context.Context, cfg Config) (results.LinkBenchFile, error) {
 	rate := cfg.WorkPerSecond
 	if rate <= 0 {
 		rate = 2e6
@@ -71,6 +73,9 @@ func RunLinkSweep(cfg Config) (results.LinkBenchFile, error) {
 			return file, err
 		}
 		for _, bw := range bandwidths {
+			if err := ctx.Err(); err != nil {
+				return file, err
+			}
 			makespans := map[string]float64{}
 			for _, mk := range []struct {
 				name string
@@ -84,7 +89,7 @@ func RunLinkSweep(cfg Config) (results.LinkBenchFile, error) {
 				if err != nil {
 					return file, fmt.Errorf("bench: %s/%s plan: %w", bp.name, mk.name, err)
 				}
-				rep, err := nrt.Run(plan, a, b, nrt.Options{
+				rep, err := nrt.RunContext(ctx, plan, a, b, nrt.Options{
 					Speeds:        bp.speeds,
 					WorkPerSecond: rate,
 					// A small burst keeps link waits from banking

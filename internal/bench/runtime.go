@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	goruntime "runtime"
@@ -23,8 +24,8 @@ type benchPlatform struct {
 
 func benchPlatforms(quick bool) []benchPlatform {
 	ps := []benchPlatform{
-		{"hom-p4", []float64{1, 1, 1, 1}},                // Σs/s₁ = 4
-		{"het-1357-p4", []float64{1, 3, 5, 7}},           // Σs/s₁ = 16
+		{"hom-p4", []float64{1, 1, 1, 1}},      // Σs/s₁ = 4
+		{"het-1357-p4", []float64{1, 3, 5, 7}}, // Σs/s₁ = 16
 	}
 	if !quick {
 		ps = append(ps,
@@ -57,8 +58,9 @@ const (
 // platform through the real worker pool, cross-checks the measured
 // traffic against the analytic predictions, audits every trace, and
 // returns the BENCH_runtime payload. Any hom/hom-k disagreement above 1%
-// or any invariant violation is an error, not a data point.
-func RunRuntime(cfg Config) (results.RuntimeBenchFile, error) {
+// or any invariant violation is an error, not a data point. A cancelled
+// ctx aborts the in-flight run and stops the sweep.
+func RunRuntime(ctx context.Context, cfg Config) (results.RuntimeBenchFile, error) {
 	rate := cfg.WorkPerSecond
 	if rate <= 0 {
 		rate = 2e6
@@ -77,6 +79,9 @@ func RunRuntime(cfg Config) (results.RuntimeBenchFile, error) {
 	b := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, n)
 
 	for _, bp := range benchPlatforms(cfg.Quick) {
+		if err := ctx.Err(); err != nil {
+			return file, err
+		}
 		pl, err := platform.FromSpeeds(bp.speeds)
 		if err != nil {
 			return file, err
@@ -103,7 +108,7 @@ func RunRuntime(cfg Config) (results.RuntimeBenchFile, error) {
 			if plan.Strategy == "het" {
 				tol = hetTolerance
 			}
-			rep, err := nrt.Run(plan, a, b, nrt.Options{
+			rep, err := nrt.RunContext(ctx, plan, a, b, nrt.Options{
 				Speeds:        bp.speeds,
 				WorkPerSecond: rate,
 				// A small burst (1 ms of credit) keeps the first worker
@@ -149,51 +154,65 @@ func RunRuntime(cfg Config) (results.RuntimeBenchFile, error) {
 }
 
 // Run executes the full harness — kernels, runtime strategies, the
-// bandwidth-modeled link sweep, and the chaos sweep — and writes the
-// four artifacts into dir, returning their paths. Every payload is
-// validated before writing; a file that would fail the CI schema gate is
-// never emitted.
-func Run(cfg Config, dir string) (kernelsPath, runtimePath, linkPath, chaosPath string, err error) {
-	kernelsPath, runtimePath, linkPath, chaosPath = Paths(dir)
-	kf, err := RunKernels(cfg)
+// bandwidth-modeled link sweep, the chaos sweep, and the multi-tenant
+// service sweep — and writes the five artifacts into dir, returning
+// their paths. Every payload is validated before writing; a file that
+// would fail the CI schema gate is never emitted. A cancelled ctx stops
+// at the next sweep boundary with nothing written.
+func Run(ctx context.Context, cfg Config, dir string) (kernelsPath, runtimePath, linkPath, chaosPath, servicePath string, err error) {
+	fail := func(err error) (string, string, string, string, string, error) {
+		return "", "", "", "", "", err
+	}
+	kernelsPath, runtimePath, linkPath, chaosPath, servicePath = Paths(dir)
+	kf, err := RunKernels(ctx, cfg)
 	if err != nil {
-		return "", "", "", "", err
+		return fail(err)
 	}
 	if err := ValidateKernels(kf); err != nil {
-		return "", "", "", "", err
+		return fail(err)
 	}
-	rf, err := RunRuntime(cfg)
+	rf, err := RunRuntime(ctx, cfg)
 	if err != nil {
-		return "", "", "", "", err
+		return fail(err)
 	}
 	if err := ValidateRuntime(rf); err != nil {
-		return "", "", "", "", err
+		return fail(err)
 	}
-	lf, err := RunLinkSweep(cfg)
+	lf, err := RunLinkSweep(ctx, cfg)
 	if err != nil {
-		return "", "", "", "", err
+		return fail(err)
 	}
 	if err := ValidateLink(lf); err != nil {
-		return "", "", "", "", err
+		return fail(err)
 	}
-	cf, err := RunChaosSweep(cfg)
+	cf, err := RunChaosSweep(ctx, cfg)
 	if err != nil {
-		return "", "", "", "", err
+		return fail(err)
 	}
 	if err := ValidateChaos(cf); err != nil {
-		return "", "", "", "", err
+		return fail(err)
+	}
+	sf, err := RunServiceSweep(ctx, cfg)
+	if err != nil {
+		return fail(err)
+	}
+	if err := ValidateService(sf); err != nil {
+		return fail(err)
 	}
 	if err := results.SaveBenchKernels(kernelsPath, kf); err != nil {
-		return "", "", "", "", err
+		return fail(err)
 	}
 	if err := results.SaveBenchRuntime(runtimePath, rf); err != nil {
-		return "", "", "", "", err
+		return fail(err)
 	}
 	if err := results.SaveBenchLink(linkPath, lf); err != nil {
-		return "", "", "", "", err
+		return fail(err)
 	}
 	if err := results.SaveBenchChaos(chaosPath, cf); err != nil {
-		return "", "", "", "", err
+		return fail(err)
 	}
-	return kernelsPath, runtimePath, linkPath, chaosPath, nil
+	if err := results.SaveBenchService(servicePath, sf); err != nil {
+		return fail(err)
+	}
+	return kernelsPath, runtimePath, linkPath, chaosPath, servicePath, nil
 }

@@ -1,0 +1,421 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	goruntime "runtime"
+	"time"
+
+	"nlfl/internal/faults"
+	"nlfl/internal/results"
+	nrt "nlfl/internal/runtime"
+	"nlfl/internal/service"
+	"nlfl/internal/stats"
+	"nlfl/internal/trace"
+)
+
+// The service sweep runs a fixed envelope, like the chaos sweep: the
+// Poisson arrival rates below are calibrated against this rate, speed
+// profile and job mix so "load 0.9" means 90% of the fleet's aggregate
+// compute capacity — slow enough that queueing dynamics (not Go
+// scheduler noise) dominate the latency quantiles, fast enough that a
+// full sweep stays under a minute.
+var serviceSpeeds = []float64{1, 2, 3, 4}
+
+const (
+	serviceRate = 3e4 // cells/s per unit speed
+	// serviceBandwidth makes the shared one-port link the scarce
+	// resource: a mean job ships ~400 elements (~16 ms of link time)
+	// against ~14 ms of aggregate compute. This is the regime where
+	// naive FIFO is provably bad (Gallet–Robert–Vivien): job-exclusive
+	// service cannot overlap one job's compute tail with the next job's
+	// transfers, so the link idles while workers finish and FIFO's
+	// effective capacity collapses to ~0.67 of the fleet's, while the
+	// interleaved policies (~0.95) keep the link saturated by feeding
+	// the next job's rectangles during the current job's computes.
+	serviceBandwidth = 2.5e4
+	// serviceChaosTenant is the tenant whose jobs carry the job-scoped
+	// crash scenario in the chaos entry.
+	serviceChaosTenant = "chaos"
+)
+
+// serviceJobMix is the offered job-size distribution.
+var serviceJobSizes = []struct {
+	n    int
+	prob float64
+}{
+	{48, 0.5},
+	{64, 0.3},
+	{96, 0.2},
+}
+
+// serviceFleetCapacity is the fleet's aggregate compute rate in cells/s.
+func serviceFleetCapacity() float64 {
+	capacity := 0.0
+	for _, s := range serviceSpeeds {
+		capacity += s * serviceRate
+	}
+	return capacity
+}
+
+// serviceMeanCells is the mix's expected job cost in cells.
+func serviceMeanCells() float64 {
+	mean := 0.0
+	for _, s := range serviceJobSizes {
+		mean += s.prob * float64(s.n) * float64(s.n)
+	}
+	return mean
+}
+
+// serviceLoads are the offered loads relative to the fleet's aggregate
+// compute capacity. The top load (0.8) sits in the window the
+// calibration above opens: well past FIFO's effective capacity (~0.67,
+// so its queue grows without bound) yet comfortably inside SRPT's and
+// II's (~0.95, so their tails stay bounded).
+func serviceLoads(quick bool) []float64 {
+	if quick {
+		return []float64{0.5, 0.8}
+	}
+	return []float64{0.4, 0.65, 0.8}
+}
+
+// serviceJobs is the offered job count per entry. The run must be long
+// enough for an overloaded FIFO queue to visibly diverge (its backlog
+// grows at roughly (ρ − 0.67)·λ jobs per second, so the divergence is
+// linear in run length while the stable policies' tails are not), which
+// takes ~2 s of arrivals at the top load. Quick mode keeps the full
+// job count and economizes on swept loads instead.
+func serviceJobs(quick bool) int {
+	return 120
+}
+
+// RunServiceSweep measures the multi-tenant fleet service under a seeded
+// Poisson arrival stream: every scheduling policy at every offered load,
+// plus one chaos entry where a single tenant's jobs carry a job-scoped
+// crash scenario. Every completed job's trace is audited by the
+// invariant oracle, and the chaos entry's clean tenants must show the
+// exact committed-equals-planned ledger — the isolation guarantee as a
+// measured gate, not a comment. A cancelled ctx aborts the in-flight
+// run and stops the sweep.
+//
+// Wall-clock latencies vary run to run; the admission counters, volume
+// ledgers and the policy ordering gates (SRPT and interleaved
+// installments beat FIFO's p99 at the top load) are the reproducible
+// part of the record. See EXPERIMENTS.md for the regeneration recipe.
+func RunServiceSweep(ctx context.Context, cfg Config) (results.ServiceBenchFile, error) {
+	file := results.ServiceBenchFile{
+		Schema:        results.BenchServiceSchema,
+		Seed:          cfg.Seed,
+		Quick:         cfg.Quick,
+		WorkPerSecond: serviceRate,
+		Speeds:        serviceSpeeds,
+		Bandwidth:     serviceBandwidth,
+		GoVersion:     goruntime.Version(),
+		GOMAXPROCS:    maxProcs(),
+	}
+	capacity := serviceFleetCapacity()
+	jobs := serviceJobs(cfg.Quick)
+	loads := serviceLoads(cfg.Quick)
+	for _, pol := range service.Policies() {
+		for _, load := range loads {
+			lambda := load * capacity / serviceMeanCells()
+			entry, err := runServiceEntry(ctx, cfg.Seed, pol, load, lambda, jobs, false)
+			if err != nil {
+				return file, fmt.Errorf("bench: service %s load=%.2f: %w", pol, load, err)
+			}
+			file.Entries = append(file.Entries, entry)
+		}
+	}
+	// The isolation entry: one tenant hammered by a per-job crash
+	// scenario under moderate load; the other tenants must come out with
+	// exact ledgers.
+	load := 0.6
+	lambda := load * capacity / serviceMeanCells()
+	entry, err := runServiceEntry(ctx, cfg.Seed, service.PolicySRPT, load, lambda, jobs, true)
+	if err != nil {
+		return file, fmt.Errorf("bench: service chaos entry: %w", err)
+	}
+	file.Entries = append(file.Entries, entry)
+	return file, nil
+}
+
+// runServiceEntry runs one (policy, load) point: a Poisson stream of
+// jobs from three round-robin tenants through a fresh fleet.
+func runServiceEntry(ctx context.Context, seed int64, pol service.Policy, load, lambda float64, jobs int, chaos bool) (results.ServiceBenchEntry, error) {
+	entry := results.ServiceBenchEntry{
+		Policy:           string(pol),
+		LoadFactor:       load,
+		LambdaJobsPerSec: lambda,
+		Chaos:            chaos,
+		Jobs:             jobs,
+	}
+	fleet, err := service.New(service.Config{
+		Speeds:        serviceSpeeds,
+		WorkPerSecond: serviceRate,
+		Link:          nrt.Link{ElemsPerSecond: serviceBandwidth},
+		Policy:        pol,
+		// Strong anti-starvation aging: a waiting job sheds 20% of fleet
+		// capacity per second from its SRPT key, so the big jobs in the
+		// mix overtake after ~100 ms of waiting instead of riding the
+		// tail — SRPT's p99 then measures scheduling, not starvation.
+		AgingCellsPerSec: 0.2 * serviceFleetCapacity(),
+		// Roomy admission: the gates compare queueing latency across
+		// policies, so overload must queue (and hurt p99), not shed.
+		MaxQueue:    4 * jobs,
+		TenantQuota: 2 * jobs,
+		VerifyEvery: 1009,
+	})
+	if err != nil {
+		return entry, err
+	}
+	defer fleet.Close()
+
+	// Two RNG streams: the job mix is shared by every policy at every
+	// load (same seed → same job sequence → comparable quantiles), the
+	// arrival stream by every policy at the same load.
+	mixRNG := stats.NewRNG(seed)
+	arrRNG := stats.NewRNG(seed + int64(1e6*load))
+	tenants := []string{"tenant-a", "tenant-b", "tenant-c"}
+	if chaos {
+		tenants = []string{"tenant-a", "tenant-b", serviceChaosTenant}
+	}
+
+	handles := make([]*service.JobHandle, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		if err := ctx.Err(); err != nil {
+			return entry, err
+		}
+		if i > 0 {
+			wait := arrRNG.ExpFloat64() / lambda
+			t := time.NewTimer(time.Duration(wait * float64(time.Second)))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return entry, ctx.Err()
+			case <-t.C:
+			}
+		}
+		u := mixRNG.Float64()
+		n := serviceJobSizes[len(serviceJobSizes)-1].n
+		acc := 0.0
+		for _, s := range serviceJobSizes {
+			acc += s.prob
+			if u < acc {
+				n = s.n
+				break
+			}
+		}
+		// Every job uses the het strategy: the fleet is heterogeneous, so
+		// PERI-SUM rectangles are the right plan, and fixing the strategy
+		// isolates the scheduling policy as the only variable. One chunk
+		// per worker also means a job cannot hide its own ramp — the
+		// cross-job comm/compute overlap (or FIFO's lack of it) is what
+		// the latency quantiles measure.
+		spec := service.JobSpec{
+			Tenant:   tenants[i%len(tenants)],
+			N:        n,
+			Strategy: "het",
+			Seed:     seed + int64(i),
+		}
+		if chaos && spec.Tenant == serviceChaosTenant {
+			// Job-scoped: worker 3 (the fastest) dies 5 ms into *this
+			// job*; the fleet re-plans onto the job's survivors while the
+			// same worker keeps serving everyone else.
+			spec.Chaos = service.ChaosSpec{
+				Scenario:   faults.SingleCrash(3, 0.005),
+				MaxRetries: 4,
+			}
+		}
+		h, err := fleet.Submit(spec)
+		if err != nil {
+			if errors.Is(err, service.ErrAdmissionRejected) {
+				continue // counted via fleet accounting below
+			}
+			return entry, err
+		}
+		handles = append(handles, h)
+	}
+
+	var latencies []float64
+	firstSubmit, lastDone := math.Inf(1), math.Inf(-1)
+	for _, h := range handles {
+		rep, err := h.Wait(ctx)
+		if rep == nil {
+			return entry, err // ctx expired: no report to harvest
+		}
+		if rep.Failed {
+			if !chaos {
+				return entry, fmt.Errorf("job %d failed without chaos: %s", rep.ID, rep.Err)
+			}
+			continue
+		}
+		entry.Violations += len(trace.Check(rep.Trace, rep.Expect(1e-9)))
+		latencies = append(latencies, rep.Latency)
+		firstSubmit = math.Min(firstSubmit, rep.SubmitTime)
+		lastDone = math.Max(lastDone, rep.DoneTime)
+	}
+	if len(latencies) == 0 {
+		return entry, fmt.Errorf("no job completed")
+	}
+
+	acc := fleet.Accounting()
+	entry.Admitted = acc.Submitted - acc.Rejected
+	entry.Rejected = acc.Rejected
+	entry.Completed = acc.Completed
+	entry.Failed = acc.Failed
+	entry.Makespan = lastDone - firstSubmit
+	if entry.Makespan > 0 {
+		entry.ThroughputJobsPerSec = float64(entry.Completed) / entry.Makespan
+	}
+	entry.LatencyP50 = stats.Quantile(latencies, 0.5)
+	entry.LatencyP99 = stats.Quantile(latencies, 0.99)
+	entry.LatencyMean = stats.Mean(latencies)
+	entry.LatencyMax = stats.Max(latencies)
+	for _, ta := range acc.Tenants {
+		entry.Tenants = append(entry.Tenants, results.ServiceTenantStat{
+			Tenant:          ta.Tenant,
+			Submitted:       ta.Submitted,
+			Admitted:        ta.Admitted,
+			Rejected:        ta.Rejected,
+			Completed:       ta.Completed,
+			Failed:          ta.Failed,
+			Cancelled:       ta.Cancelled,
+			PlanVolume:      ta.PlanVolume,
+			ReplannedVolume: ta.ReplannedVolume,
+			CommittedVolume: ta.CommittedVolume,
+			WastedData:      ta.WastedData,
+			ReclaimedCells:  float64(ta.ReclaimedCells),
+		})
+	}
+	return entry, nil
+}
+
+// ValidateService is the schema check for a BENCH_service payload: right
+// schema id, non-empty entries, finite ordered latency quantiles, clean
+// admission arithmetic, zero trace violations, the policy gate (SRPT and
+// interleaved installments strictly beat FIFO's p99 at the highest
+// fault-free load — naive FIFO is the provably bad baseline), and the
+// isolation gate (in the chaos entry, only the chaos tenant shows
+// reclaimed work; every other tenant's ledger is exact).
+func ValidateService(f results.ServiceBenchFile) error {
+	const path = ServiceFileName
+	if f.Schema != results.BenchServiceSchema {
+		return invalid(path, "schema %q, want %q", f.Schema, results.BenchServiceSchema)
+	}
+	if len(f.Entries) == 0 {
+		return invalid(path, "no entries")
+	}
+	if !finite(f.WorkPerSecond) || f.WorkPerSecond <= 0 {
+		return invalid(path, "non-positive work rate %v", f.WorkPerSecond)
+	}
+	if len(f.Speeds) == 0 {
+		return invalid(path, "no speed profile")
+	}
+	topLoad := 0.0
+	for _, e := range f.Entries {
+		if !e.Chaos && e.LoadFactor > topLoad {
+			topLoad = e.LoadFactor
+		}
+	}
+	p99 := map[string]float64{} // policy → p99 at the top fault-free load
+	sawChaos := false
+	for i, e := range f.Entries {
+		id := fmt.Sprintf("entry %d (%s load=%.2f chaos=%v)", i, e.Policy, e.LoadFactor, e.Chaos)
+		if e.Policy == "" || e.Jobs <= 0 {
+			return invalid(path, "%s: missing identity fields", id)
+		}
+		for _, v := range []struct {
+			name  string
+			value float64
+		}{
+			{"lambda", e.LambdaJobsPerSec},
+			{"loadFactor", e.LoadFactor},
+			{"makespan", e.Makespan},
+			{"throughput", e.ThroughputJobsPerSec},
+			{"latencyP50", e.LatencyP50},
+			{"latencyP99", e.LatencyP99},
+			{"latencyMean", e.LatencyMean},
+			{"latencyMax", e.LatencyMax},
+		} {
+			if !finite(v.value) || v.value <= 0 {
+				return invalid(path, "%s: non-positive or non-finite %s %v", id, v.name, v.value)
+			}
+		}
+		if e.LatencyP50 > e.LatencyP99 || e.LatencyP99 > e.LatencyMax {
+			return invalid(path, "%s: latency quantiles out of order (p50 %v, p99 %v, max %v)",
+				id, e.LatencyP50, e.LatencyP99, e.LatencyMax)
+		}
+		if e.Admitted != e.Jobs-e.Rejected {
+			return invalid(path, "%s: admitted %d ≠ jobs %d − rejected %d", id, e.Admitted, e.Jobs, e.Rejected)
+		}
+		if e.Completed+e.Failed != e.Admitted {
+			return invalid(path, "%s: completed %d + failed %d ≠ admitted %d", id, e.Completed, e.Failed, e.Admitted)
+		}
+		if e.Violations != 0 {
+			return invalid(path, "%s: %d invariant violations", id, e.Violations)
+		}
+		if len(e.Tenants) == 0 {
+			return invalid(path, "%s: no tenant breakdown", id)
+		}
+		if !e.Chaos {
+			if e.LoadFactor == topLoad {
+				p99[e.Policy] = e.LatencyP99
+			}
+			for _, ta := range e.Tenants {
+				if ta.WastedData != 0 || ta.ReclaimedCells != 0 || ta.Failed != 0 {
+					return invalid(path, "%s: fault-free tenant %s shows waste %v / reclaimed %v / failed %d",
+						id, ta.Tenant, ta.WastedData, ta.ReclaimedCells, ta.Failed)
+				}
+			}
+			continue
+		}
+		sawChaos = true
+		var hammered *results.ServiceTenantStat
+		for t := range e.Tenants {
+			ta := &e.Tenants[t]
+			if ta.Tenant == serviceChaosTenant {
+				hammered = ta
+				continue
+			}
+			// The isolation gate: a bystander tenant's ledger is *exact* —
+			// crash recovery next door moved nothing of theirs.
+			if ta.WastedData != 0 || ta.ReclaimedCells != 0 || ta.Failed != 0 {
+				return invalid(path, "%s: bystander tenant %s dirtied by chaos (waste %v, reclaimed %v, failed %d)",
+					id, ta.Tenant, ta.WastedData, ta.ReclaimedCells, ta.Failed)
+			}
+			if d := math.Abs(ta.CommittedVolume - ta.PlanVolume); d > 1e-6*(1+ta.PlanVolume) {
+				return invalid(path, "%s: bystander tenant %s committed %v ≠ planned %v",
+					id, ta.Tenant, ta.CommittedVolume, ta.PlanVolume)
+			}
+		}
+		if hammered == nil {
+			return invalid(path, "%s: chaos entry has no %q tenant", id, serviceChaosTenant)
+		}
+		// ReplannedVolume is the *extra* traffic the survivor re-plans
+		// added (CommittedVolume = PlanVolume + ReplannedVolume).
+		if hammered.ReclaimedCells <= 0 || hammered.ReplannedVolume <= 0 {
+			return invalid(path, "%s: chaos scenario left no trace on tenant %q (reclaimed %v, replanned extra %v)",
+				id, serviceChaosTenant, hammered.ReclaimedCells, hammered.ReplannedVolume)
+		}
+	}
+	if !sawChaos {
+		return invalid(path, "no chaos entry — the isolation gate did not run")
+	}
+	fifo, ok := p99["fifo"]
+	if !ok {
+		return invalid(path, "no fifo entry at the top load %.2f", topLoad)
+	}
+	for _, pol := range []string{"srpt", "ii"} {
+		v, ok := p99[pol]
+		if !ok {
+			return invalid(path, "no %s entry at the top load %.2f", pol, topLoad)
+		}
+		if v >= fifo {
+			return invalid(path, "%s p99 %.4fs does not beat fifo %.4fs at load %.2f — the naive baseline should lose",
+				pol, v, fifo, topLoad)
+		}
+	}
+	return nil
+}

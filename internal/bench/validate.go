@@ -112,10 +112,10 @@ func ValidateRuntime(f results.RuntimeBenchFile) error {
 	return nil
 }
 
-// ValidateFiles loads and validates all four artifacts under dir — the
+// ValidateFiles loads and validates all five artifacts under dir — the
 // CI bench-smoke gate.
 func ValidateFiles(dir string) error {
-	kernelsPath, runtimePath, linkPath, chaosPath := Paths(dir)
+	kernelsPath, runtimePath, linkPath, chaosPath, servicePath := Paths(dir)
 	kf, err := results.LoadBenchKernels(kernelsPath)
 	if err != nil {
 		return err
@@ -141,5 +141,12 @@ func ValidateFiles(dir string) error {
 	if err != nil {
 		return err
 	}
-	return ValidateChaos(cf)
+	if err := ValidateChaos(cf); err != nil {
+		return err
+	}
+	sf, err := results.LoadBenchService(servicePath)
+	if err != nil {
+		return err
+	}
+	return ValidateService(sf)
 }

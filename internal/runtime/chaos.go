@@ -347,7 +347,9 @@ func (r *runner) chaosWorker(w int, cs *chaosState, cq *chaosQueue) {
 					aBuf = append(aBuf[:0], r.a[c.RowLo:c.RowHi]...)
 					bBuf = append(bBuf[:0], r.b[c.ColLo:c.ColHi]...)
 				}
-				r.link.wait(t1)
+				if !r.link.wait(r.ctx, t1) {
+					return
+				}
 			} else {
 				if !dropped {
 					aBuf = append(aBuf[:0], r.a[c.RowLo:c.RowHi]...)

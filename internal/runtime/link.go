@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"math"
 	"sync"
 	"time"
@@ -115,9 +116,23 @@ func (ml *masterLink) book(w int, elems float64) (start, end float64) {
 	return start, end
 }
 
-// wait sleeps until the booked window's end has passed on the live clock.
-func (ml *masterLink) wait(end float64) {
-	if d := end - ml.now(); d > 0 {
-		time.Sleep(time.Duration(d * float64(time.Second)))
+// wait sleeps until the booked window's end has passed on the live clock,
+// or until ctx is cancelled — false means cancelled. Under a constrained
+// one-port link a booked window can sit far in the future (every earlier
+// booking serializes ahead of it), so an uninterruptible sleep here used
+// to delay RunContext cancellation by the whole backlog; cancellation
+// must instead abandon the window immediately.
+func (ml *masterLink) wait(ctx context.Context, end float64) bool {
+	d := end - ml.now()
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(time.Duration(d * float64(time.Second)))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
 	}
 }

@@ -484,7 +484,9 @@ func (r *runner) fastWorker(w int, queue *workQueue) {
 	// Under the link model the Comm span is the booked transfer window;
 	// otherwise it is the measured memcpy. Calls for one worker are
 	// strictly sequential (double-buffering keeps at most one in
-	// flight), so the per-worker ledgers need no locking.
+	// flight), so the per-worker ledgers need no locking. A cancellation
+	// that lands mid-transfer abandons the booked window: no span is
+	// recorded and the caller's next ctx check exits the loop.
 	fetch := func(c Chunk, slot int) staged {
 		bb := &bufs[slot]
 		var t0, t1 float64
@@ -492,7 +494,9 @@ func (r *runner) fastWorker(w int, queue *workQueue) {
 			t0, t1 = r.link.book(w, float64(c.Data()))
 			bb.a = append(bb.a[:0], r.a[c.RowLo:c.RowHi]...)
 			bb.b = append(bb.b[:0], r.b[c.ColLo:c.ColHi]...)
-			r.link.wait(t1)
+			if !r.link.wait(r.ctx, t1) {
+				return staged{c: c, aBuf: bb.a, bBuf: bb.b}
+			}
 		} else {
 			t0 = r.live.Now()
 			bb.a = append(bb.a[:0], r.a[c.RowLo:c.RowHi]...)

@@ -1,0 +1,112 @@
+package runtime
+
+import (
+	"context"
+	"time"
+
+	"nlfl/internal/matmul"
+)
+
+// This file exports the pool's building blocks — the token-bucket
+// throttle, the one-port bandwidth-modeled link, the rectangle kernels
+// and the survivor re-planner — for layers that own workers across many
+// runs (internal/service's long-lived fleet) instead of spinning a pool
+// per job. One implementation serves both: a fleet worker is paced,
+// booked and re-planned by exactly the code a single Run uses.
+
+// Throttle is the exported token-bucket pacer: it stretches compute to
+// the duration a speed-s processor would need (see tokenBucket). One
+// Throttle belongs to exactly one goroutine.
+type Throttle struct {
+	tb *tokenBucket
+}
+
+// NewThrottle builds a throttle refilling at rate cells/second; a
+// non-positive burst defaults to 5 ms of credit.
+func NewThrottle(rate, burst float64) *Throttle {
+	return &Throttle{tb: newTokenBucket(rate, burst)}
+}
+
+// Acquire blocks until n cells of credit are available and consumes them.
+func (t *Throttle) Acquire(n float64) { t.tb.acquire(n) }
+
+// AcquireWithin is Acquire with a sleep budget: false means the budget
+// elapsed first and the payment is forfeited (the chunk was cut short).
+// A negative budget means no deadline.
+func (t *Throttle) AcquireWithin(n float64, budget time.Duration) bool {
+	return t.tb.acquireWithin(n, budget)
+}
+
+// SharedLink is the exported one-port master link: transfers book
+// non-overlapping windows on the shared port (and on per-worker links
+// when capped) exactly as Run's internal model does.
+type SharedLink struct {
+	ml    *masterLink
+	clock func() float64
+}
+
+// NewSharedLink builds the booking state for cfg over `workers` links.
+// now supplies the live clock in seconds. An unconstrained cfg yields a
+// link whose Enabled reports false and whose Book windows are instant.
+func NewSharedLink(cfg Link, workers int, now func() float64) *SharedLink {
+	l := &SharedLink{ml: newMasterLink(cfg, workers, now), clock: now}
+	if l.ml != nil {
+		l.ml.now = now
+	}
+	return l
+}
+
+// Enabled reports whether any bandwidth constraint is configured.
+func (l *SharedLink) Enabled() bool { return l.ml != nil }
+
+// Capacity returns the aggregate shared-port rate (0 when unconstrained).
+func (l *SharedLink) Capacity() float64 {
+	if l.ml == nil || l.ml.agg <= 0 {
+		return 0
+	}
+	return l.ml.agg
+}
+
+// Book reserves the next window of elems elements for worker w and
+// returns it in live-clock seconds; it never sleeps. On an unconstrained
+// link the window is [now, now].
+func (l *SharedLink) Book(w int, elems float64) (start, end float64) {
+	if l.ml == nil {
+		t := l.clock()
+		return t, t
+	}
+	return l.ml.book(w, elems)
+}
+
+// Wait sleeps until the booked window's end has passed, or until ctx is
+// cancelled — false means cancelled.
+func (l *SharedLink) Wait(ctx context.Context, end float64) bool {
+	if l.ml == nil {
+		return ctx.Err() == nil
+	}
+	return l.ml.wait(ctx, end)
+}
+
+// FillRect computes the chunk's rectangle of the outer product a̅×b̅ into
+// dst (row-major, width ColHi−ColLo) from the worker-local copies aBuf
+// (the chunk's row interval) and bBuf (its column interval), tiled like
+// the in-pool kernel.
+func FillRect(dst []float64, aBuf, bBuf []float64, c Chunk) {
+	fillChunkInto(dst, aBuf, bBuf, c)
+}
+
+// CommitRect copies a finished rectangle into the output matrix. Callers
+// must guarantee winning rectangles are disjoint (first-writer-wins at
+// commit time), which is what makes the copy lock-free.
+func CommitRect(out *matmul.Matrix, scratch []float64, c Chunk) {
+	commitChunk(out, scratch, c)
+}
+
+// ReplanOwned maps a dead worker's owned rectangle onto the surviving
+// workers via the PERI-SUM partition (see replanOwnedChunk): pieces tile
+// the lost rectangle exactly, carry Task −1 for the caller to re-number,
+// and are owned by owners[i]. With no survivors the whole rectangle is
+// returned ownerless.
+func ReplanOwned(c Chunk, owners []int, speeds []float64) []Chunk {
+	return replanOwnedChunk(c, owners, speeds)
+}

@@ -1,0 +1,198 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// slowConfig makes jobs take long enough to pile up deterministically.
+func slowConfig() Config {
+	return Config{
+		Speeds:        []float64{1, 1},
+		WorkPerSecond: 1e3, // a 64² job is ~2 s of fleet work
+		Policy:        PolicyInterleaved,
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	cfg := slowConfig()
+	cfg.MaxQueue = 2
+	cfg.TenantQuota = 2
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h1 := mustSubmit(t, f, JobSpec{Tenant: "a", N: 64})
+	h2 := mustSubmit(t, f, JobSpec{Tenant: "b", N: 64})
+	if _, err := f.Submit(JobSpec{Tenant: "c", N: 64}); !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("overfull submit: %v, want ErrAdmissionRejected", err)
+	}
+	acc := f.Accounting()
+	if acc.Rejected != 1 || acc.Submitted != 3 {
+		t.Fatalf("accounting after shed: %+v", acc)
+	}
+	h1.Cancel()
+	h2.Cancel()
+}
+
+func TestAdmissionTenantQuota(t *testing.T) {
+	cfg := slowConfig()
+	cfg.MaxQueue = 8
+	cfg.TenantQuota = 1
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h := mustSubmit(t, f, JobSpec{Tenant: "flood", N: 64})
+	if _, err := f.Submit(JobSpec{Tenant: "flood", N: 64}); !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("over-quota submit: %v, want ErrAdmissionRejected", err)
+	}
+	// The flood tenant's quota does not block anyone else.
+	h2 := mustSubmit(t, f, JobSpec{Tenant: "quiet", N: 64})
+	acc := f.Accounting()
+	for _, ta := range acc.Tenants {
+		switch ta.Tenant {
+		case "flood":
+			if ta.Rejected != 1 || ta.Admitted != 1 {
+				t.Errorf("flood account: %+v", ta)
+			}
+		case "quiet":
+			if ta.Rejected != 0 || ta.Admitted != 1 {
+				t.Errorf("quiet account: %+v", ta)
+			}
+		}
+	}
+	h.Cancel()
+	h2.Cancel()
+}
+
+func TestJobDeadline(t *testing.T) {
+	f, err := New(slowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	h := mustSubmit(t, f, JobSpec{Tenant: "d", N: 64, Deadline: 50 * time.Millisecond})
+	rep, err := h.Wait(context.Background())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline job: %v, want DeadlineExceeded", err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("deadline enforcement took %v", took)
+	}
+	if rep == nil || !rep.Failed {
+		t.Fatalf("deadline report: %+v", rep)
+	}
+	// The fleet still serves new work afterwards.
+	fast := mustSubmit(t, f, JobSpec{Tenant: "d", N: 8})
+	if _, err := fast.Wait(context.Background()); err != nil {
+		t.Fatalf("post-deadline job: %v", err)
+	}
+	acc := f.Accounting()
+	if acc.Cancelled != 1 || acc.Completed != 1 {
+		t.Fatalf("accounting: %+v", acc)
+	}
+}
+
+func TestCancelReleasesPromptly(t *testing.T) {
+	f, err := New(slowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h := mustSubmit(t, f, JobSpec{Tenant: "c", N: 64})
+	time.Sleep(10 * time.Millisecond) // let it start
+	start := time.Now()
+	h.Cancel()
+	rep, err := h.Wait(context.Background())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled job: %v, want context.Canceled", err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("cancellation took %v", took)
+	}
+	if rep == nil || !rep.Failed {
+		t.Fatalf("cancel report: %+v", rep)
+	}
+	select {
+	case <-h.Done():
+	default:
+		t.Fatal("Done channel not closed after cancel")
+	}
+	// Cancel is idempotent.
+	h.Cancel()
+	// The pool is free again: a small job completes quickly.
+	fast := mustSubmit(t, f, JobSpec{Tenant: "c", N: 8})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := fast.Wait(ctx); err != nil {
+		t.Fatalf("post-cancel job: %v", err)
+	}
+}
+
+func TestDrainAndClose(t *testing.T) {
+	f, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handles []*JobHandle
+	for i := 0; i < 4; i++ {
+		handles = append(handles, mustSubmit(t, f, JobSpec{Tenant: "drain", N: 48, Seed: int64(i)}))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := f.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	// Draining fleets reject new work but finished the old.
+	if _, err := f.Submit(JobSpec{Tenant: "late", N: 16}); !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("submit while drained: %v", err)
+	}
+	for _, h := range handles {
+		checkJob(t, waitOK(t, h))
+	}
+	f.Close()
+	f.Close() // idempotent
+	if _, err := f.Submit(JobSpec{Tenant: "late", N: 16}); !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+func TestCloseFailsInFlightJobs(t *testing.T) {
+	f, err := New(slowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mustSubmit(t, f, JobSpec{Tenant: "x", N: 64})
+	time.Sleep(5 * time.Millisecond)
+	f.Close()
+	_, err = h.Wait(context.Background())
+	if err == nil {
+		t.Fatal("Wait after Close: want an error")
+	}
+	if !errors.Is(err, ErrFleetClosed) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait after Close: %v", err)
+	}
+}
+
+func TestDrainDeadlineFailsStragglers(t *testing.T) {
+	f, err := New(slowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h := mustSubmit(t, f, JobSpec{Tenant: "x", N: 64})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := f.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain under deadline: %v", err)
+	}
+	if _, err := h.Wait(context.Background()); !errors.Is(err, ErrFleetClosed) {
+		t.Fatalf("straggler after drain deadline: %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"math"
+	"sync"
+
+	"nlfl/internal/faults"
+	"nlfl/internal/stats"
+)
+
+// jobChaos is a job's ChaosSpec compiled into per-fleet-worker query
+// tables, the service twin of runtime.chaosState. Event times are
+// relative to the job's start; every query takes that relative instant.
+// The deterministic tables are read-only after compile; the LinkDrop
+// coin flips share one seeded RNG behind a mutex, so a job's flip
+// sequence is reproducible even though which transfer consumes which
+// flip depends on scheduling order.
+type jobChaos struct {
+	crashAt []float64    // earliest Crash instant per fleet worker (+Inf: none)
+	slow    [][]timeSpan // Straggler compute factors
+	pause   [][]timeSpan // Transient outages
+	drop    [][]timeSpan // LinkDrop loss probabilities
+
+	mu  sync.Mutex
+	rng *stats.RNG
+}
+
+// timeSpan is one [start,end) fault window; factor carries the
+// straggler multiplier or drop probability.
+type timeSpan struct {
+	start, end, factor float64
+}
+
+func (ts timeSpan) covers(t float64) bool { return t >= ts.start && t < ts.end }
+
+func compileJobChaos(spec ChaosSpec, fleetP int) *jobChaos {
+	jc := &jobChaos{
+		crashAt: make([]float64, fleetP),
+		slow:    make([][]timeSpan, fleetP),
+		pause:   make([][]timeSpan, fleetP),
+		drop:    make([][]timeSpan, fleetP),
+		rng:     stats.NewRNG(spec.Scenario.Seed),
+	}
+	for w := range jc.crashAt {
+		jc.crashAt[w] = math.Inf(1)
+	}
+	for _, e := range spec.Scenario.Events {
+		switch e.Kind {
+		case faults.Crash:
+			if e.Time < jc.crashAt[e.Worker] {
+				jc.crashAt[e.Worker] = e.Time
+			}
+		case faults.Transient:
+			jc.pause[e.Worker] = append(jc.pause[e.Worker], timeSpan{e.Time, e.Until, 0})
+		case faults.Straggler:
+			jc.slow[e.Worker] = append(jc.slow[e.Worker], timeSpan{e.Time, e.Until, e.Factor})
+		case faults.LinkSlow:
+			// The fleet's link is shared by every job; slowing it for one
+			// job would bleed into its neighbors' booked windows. A
+			// job-scoped LinkSlow instead stretches the *job's* transfer
+			// occupancy model: treat it as a straggler on the shipping
+			// worker's compute for the window (closest job-local analogue
+			// that cannot leak across tenants).
+			jc.slow[e.Worker] = append(jc.slow[e.Worker], timeSpan{e.Time, e.Until, e.Factor})
+		case faults.LinkDrop:
+			jc.drop[e.Worker] = append(jc.drop[e.Worker], timeSpan{e.Time, e.Until, e.DropProb})
+		}
+	}
+	return jc
+}
+
+// computeScale returns worker w's speed multiplier at job-relative t.
+func (jc *jobChaos) computeScale(w int, t float64) float64 {
+	f := 1.0
+	for _, win := range jc.slow[w] {
+		if win.covers(t) {
+			f *= win.factor
+		}
+	}
+	return f
+}
+
+// pausedUntil reports whether w is inside a transient outage at t and
+// when the latest covering outage ends.
+func (jc *jobChaos) pausedUntil(w int, t float64) (until float64, paused bool) {
+	for _, win := range jc.pause[w] {
+		if win.covers(t) && win.end > until {
+			until, paused = win.end, true
+		}
+	}
+	return until, paused
+}
+
+// dropTransfer flips the seeded coin for a transfer to w starting at t.
+func (jc *jobChaos) dropTransfer(w int, t float64) bool {
+	for _, win := range jc.drop[w] {
+		if !win.covers(t) {
+			continue
+		}
+		jc.mu.Lock()
+		u := jc.rng.Float64()
+		jc.mu.Unlock()
+		if u < win.factor {
+			return true
+		}
+	}
+	return false
+}
+
+// crashDue reports whether w's job-scoped crash instant has passed at
+// job-relative t (false for workers with no crash scheduled).
+func (jc *jobChaos) crashDue(w int, t float64) bool {
+	return t >= jc.crashAt[w]
+}

@@ -1,0 +1,472 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"nlfl/internal/faults"
+	"nlfl/internal/matmul"
+	nrt "nlfl/internal/runtime"
+	"nlfl/internal/trace"
+)
+
+// ChaosSpec scopes a fault scenario to one job. Worker indices in the
+// scenario are *fleet* worker ids; event times are seconds relative to
+// the job's start (its first chunk handout). The faults run only inside
+// the job: a crashed worker is dead for this job — its leases and owned
+// backlog are reclaimed and re-planned over the job's surviving slice —
+// while the same worker keeps serving every other job untouched.
+type ChaosSpec struct {
+	// Scenario is the job-scoped fault timeline.
+	Scenario faults.Scenario
+	// MaxRetries is the per-chunk-lineage recovery budget (transfer
+	// re-attempts after drops, lineage reclaims after crashes); a chunk
+	// exceeding it fails this job with ErrJobFailed. 0 means no budget.
+	MaxRetries int
+	// BackoffBase and BackoffMax bound the capped exponential backoff
+	// between transfer retries, in seconds; zeros select 1 ms and 50 ms.
+	BackoffBase float64
+	BackoffMax  float64
+	// SpeculateAfter, when positive, lets a chunk one worker has held
+	// longer than this many seconds be re-issued to a second worker of
+	// the job's slice; first commit wins, the loser is Wasted.
+	SpeculateAfter float64
+}
+
+func (c ChaosSpec) enabled() bool {
+	return len(c.Scenario.Events) > 0 || c.SpeculateAfter > 0
+}
+
+// JobSpec describes one outer-product job submitted to the fleet.
+type JobSpec struct {
+	// Tenant is the accounting/fair-share identity; "" means "default".
+	Tenant string
+	// N is the problem size (output is N×N).
+	N int
+	// Strategy picks the partition: "hom" (default), "hom/k" or "het".
+	Strategy string
+	// A and B are the input vectors (length N); nil inputs are generated
+	// deterministically from Seed.
+	A, B []float64
+	// Seed drives input generation when A/B are nil.
+	Seed int64
+	// Deadline, when positive, bounds the job's life from submission;
+	// expiry cancels it (handle.Wait returns context.DeadlineExceeded)
+	// and its leases are reclaimed without touching other jobs.
+	Deadline time.Duration
+	// MaxWorkers, when positive, further caps the job's fleet slice.
+	MaxWorkers int
+	// Chaos optionally scopes a fault scenario to this job.
+	Chaos ChaosSpec
+}
+
+func (s JobSpec) withDefaults() JobSpec {
+	if s.Tenant == "" {
+		s.Tenant = "default"
+	}
+	if s.Strategy == "" {
+		s.Strategy = "hom"
+	}
+	if s.Chaos.enabled() {
+		if s.Chaos.BackoffBase <= 0 {
+			s.Chaos.BackoffBase = 1e-3
+		}
+		if s.Chaos.BackoffMax <= 0 {
+			s.Chaos.BackoffMax = 50e-3
+		}
+	}
+	return s
+}
+
+func (s JobSpec) validate(p int) error {
+	if s.N <= 0 {
+		return fmt.Errorf("service: job size n=%d", s.N)
+	}
+	if (s.A != nil) != (s.B != nil) {
+		return fmt.Errorf("service: provide both A and B or neither")
+	}
+	if s.A != nil && (len(s.A) != s.N || len(s.B) != s.N) {
+		return fmt.Errorf("service: inputs sized %d/%d for n=%d", len(s.A), len(s.B), s.N)
+	}
+	if s.MaxWorkers < 0 {
+		return fmt.Errorf("service: negative MaxWorkers %d", s.MaxWorkers)
+	}
+	if s.Chaos.enabled() {
+		if err := s.Chaos.Scenario.Validate(p); err != nil {
+			return fmt.Errorf("service: job chaos: %w", err)
+		}
+		if s.Chaos.MaxRetries < 0 {
+			return fmt.Errorf("service: negative retry budget %d", s.Chaos.MaxRetries)
+		}
+		if s.Chaos.SpeculateAfter < 0 || math.IsNaN(s.Chaos.SpeculateAfter) {
+			return fmt.Errorf("service: invalid SpeculateAfter %v", s.Chaos.SpeculateAfter)
+		}
+	}
+	return nil
+}
+
+// jobState is a job's lifecycle stage (fleet.mu-guarded).
+type jobState int
+
+const (
+	jsActive jobState = iota
+	jsDone
+	jsFailed
+)
+
+// lease tracks one chunk in flight, possibly on two workers at once
+// (holder + speculative copy); first-writer-wins at commit.
+type lease struct {
+	c       nrt.Chunk
+	holders []int
+	first   int
+	since   float64
+}
+
+// job is one admitted job's full state. Immutable after buildJobLocked:
+// identity, slice, plan, inputs, chaos tables, ctx. Everything else is
+// guarded by fleet.mu; the output matrix is written only by the worker
+// holding the winning commit (disjoint rectangles).
+type job struct {
+	id       int64
+	tenant   string
+	n        int
+	strategy string
+	slice    []int  // fleet worker ids, ascending
+	inSlice  []bool // fleet-indexed
+	plan     *nrt.StrategyPlan
+	a, b     []float64
+	out      *matmul.Matrix
+	tl       *trace.Timeline
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan struct{}
+
+	chaos      *jobChaos // nil without a ChaosSpec
+	maxRetries int
+	backoff    [2]float64 // base, max (seconds)
+	specAfter  float64
+
+	submitAt float64
+	startAt  float64 // -1 until the first chunk handout
+	doneAt   float64
+
+	// lease-queue state (the per-job analogue of runtime.chaosQueue,
+	// fleet-worker-indexed and guarded by fleet.mu).
+	backlog   [][]nrt.Chunk
+	bhead     []int
+	shared    []nrt.Chunk
+	shead     int
+	leases    map[int]*lease
+	committed map[int]bool
+	recovered map[int]int
+	nextTask  int
+	cellsLeft int
+	// serving counts chunks of this job currently in flight on workers.
+	// A job completes only when cellsLeft hits 0 AND serving drains to 0,
+	// so losing speculative copies settle their waste into the ledgers
+	// before the report freezes (the fleet analogue of Run's wg.Wait).
+	serving   int
+	deadFor   []bool // fleet-indexed: worker dead *for this job*
+	aliveLeft int    // live workers remaining in the slice
+
+	// ledgers
+	planVolume     float64
+	predicted      float64
+	replanExtra    float64
+	dataShipped    float64
+	committedCells float64
+	committedVol   float64
+	wastedData     float64
+	wastedWork     float64
+	lostWork       float64
+	reclaimedCells int
+	retried        int
+	specWins       int
+	degraded       int
+
+	state  jobState
+	err    error
+	report *JobReport
+}
+
+// newJob allocates the state for an admitted job over its slice.
+func newJob(id int64, spec JobSpec, slice []int, plan *nrt.StrategyPlan, a, b []float64, fleetP int, now float64) *job {
+	j := &job{
+		id:        id,
+		tenant:    spec.Tenant,
+		n:         spec.N,
+		strategy:  spec.Strategy,
+		slice:     slice,
+		inSlice:   make([]bool, fleetP),
+		plan:      plan,
+		a:         a,
+		b:         b,
+		out:       matmul.New(spec.N, spec.N),
+		tl:        trace.New(fleetP),
+		done:      make(chan struct{}),
+		submitAt:  now,
+		startAt:   -1,
+		backlog:   make([][]nrt.Chunk, fleetP),
+		bhead:     make([]int, fleetP),
+		leases:    map[int]*lease{},
+		committed: map[int]bool{},
+		recovered: map[int]int{},
+		deadFor:   make([]bool, fleetP),
+		aliveLeft: len(slice),
+	}
+	for _, w := range slice {
+		j.inSlice[w] = true
+	}
+	// Plan chunks are owned in slice-local indices; map them to fleet ids.
+	// PlanVolume is the executed plan's geometric volume Σ(wᵢ+hᵢ) — what
+	// a clean run ships exactly and no faulty run can undercut; the
+	// analytic closed form stays in predicted for reporting.
+	for _, c := range plan.Chunks {
+		j.cellsLeft += c.Cells()
+		j.planVolume += float64(c.Data())
+		if c.Task >= j.nextTask {
+			j.nextTask = c.Task + 1
+		}
+		if c.Owner >= 0 && c.Owner < len(slice) {
+			c.Owner = slice[c.Owner]
+			j.backlog[c.Owner] = append(j.backlog[c.Owner], c)
+		} else {
+			c.Owner = -1
+			j.shared = append(j.shared, c)
+		}
+	}
+	j.predicted = plan.Predicted
+	if spec.Chaos.enabled() {
+		j.chaos = compileJobChaos(spec.Chaos, fleetP)
+		j.maxRetries = spec.Chaos.MaxRetries
+		j.backoff = [2]float64{spec.Chaos.BackoffBase, spec.Chaos.BackoffMax}
+		j.specAfter = spec.Chaos.SpeculateAfter
+	}
+	return j
+}
+
+// terminal reports whether the job has been finalized (fleet.mu held).
+func (j *job) terminal() bool { return j.state != jsActive }
+
+// remainingCells is the SRPT key input (fleet.mu held).
+func (j *job) remainingCells() float64 { return float64(j.cellsLeft) }
+
+// JobHandle is the caller's view of an admitted job.
+type JobHandle struct {
+	f *Fleet
+	j *job
+}
+
+// ID returns the fleet-assigned job id.
+func (h *JobHandle) ID() int64 { return h.j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (h *JobHandle) Done() <-chan struct{} { return h.j.done }
+
+// Cancel cancels the job: its leases are reclaimed at the next
+// scheduling step, in-flight chunks commit to nowhere (accounted as this
+// job's waste), and Wait returns context.Canceled. Other jobs never
+// notice. Idempotent; a no-op once the job is terminal.
+func (h *JobHandle) Cancel() { h.j.cancel() }
+
+// Wait blocks until the job is terminal (or ctx expires) and returns its
+// report. The error is nil for success; ErrJobFailed, ErrFleetClosed,
+// context.Canceled or context.DeadlineExceeded otherwise — the report is
+// still returned alongside a job error, carrying the partial ledgers.
+func (h *JobHandle) Wait(ctx context.Context) (*JobReport, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-h.j.done:
+	}
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	return h.j.report, h.j.err
+}
+
+// Report returns the job's report if it is terminal, else nil.
+func (h *JobHandle) Report() *JobReport {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	return h.j.report
+}
+
+// JobReport is the per-job ledger, frozen at finalize. The chaos
+// identities of the single-run Report hold here per job: DataShipped =
+// CommittedVolume + WastedData, and CommittedVolume = PlanVolume +
+// ReplannedVolume (every fault's cost is attributed to the job that
+// carried the fault, never to its neighbors).
+type JobReport struct {
+	ID       int64
+	Tenant   string
+	N        int
+	Strategy string
+	// Workers lists the fleet slice the job was admitted with.
+	Workers []int
+
+	SubmitTime float64
+	StartTime  float64 // -1 if never started
+	DoneTime   float64
+	// Latency is DoneTime − SubmitTime (queueing + service).
+	Latency float64
+	// Makespan is DoneTime − StartTime (service only); 0 if never started.
+	Makespan float64
+
+	// PlanVolume is the executed plan's geometric volume Σ(wᵢ+hᵢ);
+	// Predicted is the strategy's analytic closed form (they coincide on
+	// snapped platforms).
+	PlanVolume      float64
+	Predicted       float64
+	ReplannedVolume float64
+	DataShipped     float64
+	CommittedVolume float64
+	WastedData      float64
+	WastedWorkCells float64
+	LostWorkCells   float64
+	ReclaimedCells  int
+	RetriedChunks   int
+	SpeculativeWins int
+	DegradedWorkers int
+	LinkCapacity    float64
+
+	Failed bool
+	Err    string
+
+	// Out is the verified output matrix (nil when the job failed).
+	Out *matmul.Matrix
+	// Trace is the job's own timeline over the *fleet's* workers; rows
+	// outside the slice stay empty unless chaos speculation pulled them in.
+	Trace *trace.Timeline
+	// Chaos records whether the job carried a fault scenario.
+	Chaos bool
+}
+
+// Expect builds the trace oracle for this job's timeline, mirroring the
+// single-run contract: exact plan-volume bound for clean jobs, plan
+// floor + exactly-once + waste ledgers under chaos.
+func (r *JobReport) Expect(relTol float64) *trace.Expect {
+	nn := float64(r.N) * float64(r.N)
+	e := &trace.Expect{
+		HasWork:       true,
+		TotalWork:     nn,
+		ProcessedWork: nn,
+		HasComm:       true,
+		ShippedData:   r.DataShipped,
+		Bound:         r.PlanVolume,
+		BoundKind:     trace.BoundExact,
+		BoundName:     "Comm_" + r.Strategy,
+		LinkCapacity:  r.LinkCapacity,
+		Tol:           relTol,
+	}
+	if r.Chaos {
+		e.Bound = r.PlanVolume
+		e.BoundKind = trace.BoundLower
+		e.BoundName = "Comm_" + r.Strategy + " plan floor"
+		e.ExactlyOnce = true
+		e.WastedWork = r.WastedWorkCells
+		e.LostWork = r.LostWorkCells
+	}
+	return e
+}
+
+// finalizeLocked moves a job to its terminal state exactly once: freezes
+// the report, settles the tenant account, removes the job from the
+// active set, answers every waiter and wakes the pool. err == nil means
+// success (the output is spot-verified first when configured).
+func (f *Fleet) finalizeLocked(j *job, err error) {
+	if j.terminal() {
+		return
+	}
+	if err == nil && f.cfg.VerifyEvery > 0 {
+		err = j.verify(f.cfg.VerifyEvery)
+	}
+	now := f.now()
+	j.doneAt = now
+	j.err = err
+	if err == nil {
+		j.state = jsDone
+	} else {
+		j.state = jsFailed
+	}
+	rep := &JobReport{
+		ID:       j.id,
+		Tenant:   j.tenant,
+		N:        j.n,
+		Strategy: j.strategy,
+		Workers:  append([]int(nil), j.slice...),
+
+		SubmitTime: j.submitAt,
+		StartTime:  j.startAt,
+		DoneTime:   now,
+		Latency:    now - j.submitAt,
+
+		PlanVolume:      j.planVolume,
+		Predicted:       j.predicted,
+		ReplannedVolume: j.replanExtra,
+		DataShipped:     j.dataShipped,
+		CommittedVolume: j.committedVol,
+		WastedData:      j.wastedData,
+		WastedWorkCells: j.wastedWork,
+		LostWorkCells:   j.lostWork,
+		ReclaimedCells:  j.reclaimedCells,
+		RetriedChunks:   j.retried,
+		SpeculativeWins: j.specWins,
+		DegradedWorkers: j.degraded,
+		LinkCapacity:    f.link.Capacity(),
+
+		Failed: err != nil,
+		Trace:  j.tl,
+		Chaos:  j.chaos != nil,
+	}
+	if j.startAt >= 0 {
+		rep.Makespan = now - j.startAt
+	}
+	if err == nil {
+		rep.Out = j.out
+	} else {
+		rep.Err = err.Error()
+	}
+	j.report = rep
+
+	led := f.ledgerLocked(j.tenant)
+	led.settle(rep)
+	switch {
+	case err == nil:
+		f.completed++
+		led.Completed++
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		f.cancelledJobs++
+		led.Cancelled++
+	default:
+		f.failed++
+		led.Failed++
+	}
+
+	for i, k := range f.active {
+		if k == j {
+			f.active = append(f.active[:i], f.active[i+1:]...)
+			break
+		}
+	}
+	f.finishedJobs++
+	f.probationTickLocked()
+	close(j.done)
+	j.cancel()
+	f.wakeAll()
+}
+
+// verify spot-checks every stride-th output cell against a[i]*b[k].
+func (j *job) verify(stride int) error {
+	for idx := 0; idx < j.n*j.n; idx += stride {
+		i, k := idx/j.n, idx%j.n
+		want := j.a[i] * j.b[k]
+		if got := j.out.At(i, k); got != want {
+			return fmt.Errorf("%w: output mismatch at (%d,%d): got %v want %v", ErrJobFailed, i, k, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package service
+
+import "fmt"
+
+// Policy selects the fleet's scheduling discipline — which admitted job
+// the next idle worker serves.
+type Policy string
+
+// The three disciplines span the multi-load scheduling space the DLT
+// literature maps out (Gallet–Robert–Vivien: naive FIFO over a shared
+// link is provably bad; interleaving installments repairs it).
+const (
+	// PolicyFIFO is the naive baseline: strictly job-exclusive,
+	// head-of-line service. The oldest unfinished job owns the whole
+	// fleet until its last chunk commits; later jobs wait untouched.
+	// Deliberately bad under load: it forfeits cross-job comm/compute
+	// overlap on the shared link and idles the pool through every job's
+	// straggler tail.
+	PolicyFIFO Policy = "fifo"
+	// PolicySRPT is shortest-remaining-processing-time with
+	// anti-starvation aging: idle workers serve the job minimizing
+	// remaining cells − AgingCellsPerSec·wait, after tenant fair-share
+	// ordering. Small jobs overtake large ones (tight p50/p99 under
+	// mixed sizes) but a large job's effective key keeps shrinking, so
+	// it cannot starve.
+	PolicySRPT Policy = "srpt"
+	// PolicyInterleaved is interleaved installments: least attained
+	// service first (aged by AgingCellsPerSec, so seniority eventually
+	// wins and old jobs cannot starve), after tenant fair-share
+	// ordering. Every admitted job gets chunks in round-robin
+	// installments, the multi-load fix from the divisible-load
+	// literature.
+	PolicyInterleaved Policy = "ii"
+)
+
+// discipline is the compiled policy id used on the scheduling hot path.
+type discipline int
+
+const (
+	dFIFO discipline = iota
+	dSRPT
+	dInterleaved
+)
+
+// order compiles the policy name, rejecting unknown ones at Config time.
+func (p Policy) order() (discipline, error) {
+	switch p {
+	case PolicyFIFO:
+		return dFIFO, nil
+	case PolicySRPT:
+		return dSRPT, nil
+	case PolicyInterleaved:
+		return dInterleaved, nil
+	default:
+		return 0, fmt.Errorf("service: unknown policy %q (want %q, %q or %q)",
+			string(p), PolicyFIFO, PolicySRPT, PolicyInterleaved)
+	}
+}
+
+// Policies lists the supported disciplines, FIFO (the baseline) first.
+func Policies() []Policy { return []Policy{PolicyFIFO, PolicySRPT, PolicyInterleaved} }

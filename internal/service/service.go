@@ -1,0 +1,411 @@
+// Package service is the multi-tenant fleet layer: a long-lived worker
+// pool that admits a *stream* of outer-product jobs from many tenants
+// and runs them concurrently over shared token buckets and one shared
+// one-port master link — the production shape of the paper's platform,
+// where `runtime.Run`'s one-job-at-a-time pool becomes a service.
+//
+// Robustness is the organizing principle:
+//
+//   - Admission control: the queue of unfinished jobs is bounded
+//     fleet-wide and per tenant; overload sheds new work with the typed
+//     ErrAdmissionRejected instead of queueing without bound. Each job
+//     is admitted with only the fleet slice it can actually use (an
+//     Amdahl-style cap — workers beyond N²/MinCellsPerWorker would cost
+//     communication without buying compute, the no-free-lunch knee).
+//   - Isolation: faults are scoped to the job that carries them. A
+//     chaos-crashed worker dies *for that job only* — its leases and
+//     backlog are reclaimed and re-planned onto the job's surviving
+//     workers (PERI-SUM, as in the single-run chaos queue) while the
+//     same worker keeps serving every other job. Per-tenant fair-share
+//     ordering keeps one tenant's flood from starving the rest, and the
+//     bounded per-tenant quota keeps the flood from occupying the queue.
+//   - Deadlines and cancellation: every job carries a context; deadline
+//     expiry or cancellation reclaims its leases promptly and cleanly —
+//     in-flight chunks of a dead job commit to nowhere (accounted as
+//     waste) and never poison another job's ledger.
+//   - Health: workers that keep dying inside jobs accumulate strikes and
+//     are quarantined — excluded from new jobs' slices — then readmitted
+//     after a probation of completed jobs.
+//   - Graceful degradation: Drain stops admission and finishes (or
+//     cleanly fails) the in-flight jobs; Close always leaves every
+//     waiter answered.
+//
+// Scheduling policies (see Policy): naive FIFO (job-exclusive, the
+// provably bad baseline of Gallet–Robert–Vivien's multi-load analysis),
+// an SRPT-like shortest-remaining-first with anti-starvation aging, and
+// interleaved installments (least-attained-service round-robin, the
+// multi-installment fix from the same line of work). Both non-FIFO
+// policies order tenants by attained service first — the fair-share
+// guarantee — and jobs within the tenant by the policy key.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"nlfl/internal/platform"
+	nrt "nlfl/internal/runtime"
+	"nlfl/internal/stats"
+)
+
+// Typed service failures.
+var (
+	// ErrAdmissionRejected marks a job shed at the door: the admission
+	// queue is full, the tenant is over quota, or the fleet is draining.
+	ErrAdmissionRejected = errors.New("service: admission rejected")
+	// ErrFleetClosed marks a job terminated by fleet shutdown rather than
+	// by its own failure.
+	ErrFleetClosed = errors.New("service: fleet closed")
+	// ErrJobFailed marks a job lost to its own faults — a chaos scenario
+	// that exhausted the retry budget or killed every worker in the
+	// job's slice. Other jobs are unaffected.
+	ErrJobFailed = errors.New("service: job failed")
+)
+
+// Config sizes the fleet.
+type Config struct {
+	// Speeds are the fleet workers' relative speeds (all positive).
+	// Required; the pool size is len(Speeds).
+	Speeds []float64
+	// WorkPerSecond is the cell-update rate of a speed-1 worker (the
+	// token-bucket refill scale); 0 selects 2e6.
+	WorkPerSecond float64
+	// Burst is the token-bucket capacity in cells; 0 selects 5 ms of
+	// credit at the worker's rate.
+	Burst float64
+	// Link models the master's outgoing bandwidth, shared one-port style
+	// by every job's transfers; the zero value ships at memcpy speed.
+	Link nrt.Link
+	// Policy selects the scheduling discipline; "" means PolicyFIFO.
+	Policy Policy
+	// AgingCellsPerSec is the SRPT anti-starvation rate: a waiting job's
+	// effective remaining work shrinks by this many cells per waiting
+	// second, so large jobs cannot starve behind a stream of small ones.
+	// 0 selects 2% of fleet capacity per second.
+	AgingCellsPerSec float64
+	// MaxQueue bounds the unfinished jobs fleet-wide; admission beyond it
+	// is shed with ErrAdmissionRejected. 0 selects 64.
+	MaxQueue int
+	// TenantQuota bounds the unfinished jobs per tenant; 0 selects
+	// max(1, MaxQueue/4), so a single tenant's flood cannot occupy the
+	// whole admission queue.
+	TenantQuota int
+	// MinCellsPerWorker is the admission slice rule: a job of N² cells is
+	// admitted with at most N²/MinCellsPerWorker workers (the fastest
+	// healthy ones), because a thinner split ships more input data than
+	// the extra workers can pay back. 0 selects 256.
+	MinCellsPerWorker int
+	// QuarantineAfter is the strike budget: a worker that dies inside
+	// QuarantineAfter jobs is quarantined. 0 selects 2.
+	QuarantineAfter int
+	// ProbationJobs is the quarantine length, measured in fleet-wide
+	// finished jobs; after it the worker is readmitted with a clean
+	// record. 0 selects 8.
+	ProbationJobs int
+	// VerifyEvery, when positive, spot-checks every VerifyEvery-th output
+	// cell of each completed job and fails the job on mismatch.
+	VerifyEvery int
+}
+
+func (c *Config) withDefaults() Config {
+	d := *c
+	if d.WorkPerSecond <= 0 {
+		d.WorkPerSecond = 2e6
+	}
+	if d.Policy == "" {
+		d.Policy = PolicyFIFO
+	}
+	if d.MaxQueue <= 0 {
+		d.MaxQueue = 64
+	}
+	if d.TenantQuota <= 0 {
+		d.TenantQuota = max(1, d.MaxQueue/4)
+	}
+	if d.MinCellsPerWorker <= 0 {
+		d.MinCellsPerWorker = 256
+	}
+	if d.QuarantineAfter <= 0 {
+		d.QuarantineAfter = 2
+	}
+	if d.ProbationJobs <= 0 {
+		d.ProbationJobs = 8
+	}
+	if d.AgingCellsPerSec <= 0 {
+		cap := 0.0
+		for _, s := range d.Speeds {
+			cap += s * d.WorkPerSecond
+		}
+		d.AgingCellsPerSec = 0.02 * cap
+	}
+	return d
+}
+
+// Fleet is the long-lived multi-tenant service: it owns the worker
+// goroutines, their token buckets and the shared master link once, and
+// multiplexes admitted jobs over them chunk by chunk.
+type Fleet struct {
+	cfg    Config
+	speeds []float64
+	rate   float64
+	start  time.Time
+	link   *nrt.SharedLink
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	wake   []chan struct{}
+
+	mu            sync.Mutex
+	seq           int64
+	active        []*job // unfinished admitted jobs, admission order
+	draining      bool
+	closed        bool
+	health        []workerHealth
+	accounts      map[string]*tenantLedger
+	finishedJobs  int
+	submitted     int
+	rejected      int
+	completed     int
+	failed        int
+	cancelledJobs int
+
+	closeOnce sync.Once
+}
+
+// New starts the fleet: len(cfg.Speeds) persistent workers, each with
+// its own token bucket, all sharing one master link. Callers must Close
+// (or Drain then Close) the fleet.
+func New(cfg Config) (*Fleet, error) {
+	if len(cfg.Speeds) == 0 {
+		return nil, fmt.Errorf("service: need at least one worker speed")
+	}
+	for i, s := range cfg.Speeds {
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("service: worker %d has invalid speed %v", i, s)
+		}
+	}
+	if lp := len(cfg.Link.PerWorker); lp != 0 && lp != len(cfg.Speeds) {
+		return nil, fmt.Errorf("service: %d per-worker link rates for %d workers", lp, len(cfg.Speeds))
+	}
+	d := cfg.withDefaults()
+	if _, err := d.Policy.order(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &Fleet{
+		cfg:      d,
+		speeds:   append([]float64(nil), d.Speeds...),
+		rate:     d.WorkPerSecond,
+		start:    time.Now(),
+		ctx:      ctx,
+		cancel:   cancel,
+		health:   make([]workerHealth, len(d.Speeds)),
+		accounts: map[string]*tenantLedger{},
+		wake:     make([]chan struct{}, len(d.Speeds)),
+	}
+	f.link = nrt.NewSharedLink(d.Link, len(d.Speeds), f.now)
+	for w := range f.speeds {
+		f.wake[w] = make(chan struct{}, 1)
+		f.wg.Add(1)
+		go f.worker(w)
+	}
+	return f, nil
+}
+
+// now is the fleet clock: seconds since New on the monotonic clock.
+// Every span, latency and chaos window uses this base.
+func (f *Fleet) now() float64 { return time.Since(f.start).Seconds() }
+
+// Workers returns the fleet pool size.
+func (f *Fleet) Workers() int { return len(f.speeds) }
+
+// wakeAll nudges every idle worker (non-blocking).
+func (f *Fleet) wakeAll() {
+	for _, ch := range f.wake {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Submit admits a job, or sheds it with ErrAdmissionRejected. Admission
+// never blocks: the bounded queue either has room or the job is
+// rejected immediately, so overload turns into fast failure at the door
+// rather than unbounded latency inside.
+func (f *Fleet) Submit(spec JobSpec) (*JobHandle, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(len(f.speeds)); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.submitted++
+	led := f.ledgerLocked(spec.Tenant)
+	led.Submitted++
+	reject := func(reason string) (*JobHandle, error) {
+		f.rejected++
+		led.Rejected++
+		return nil, fmt.Errorf("%w: %s", ErrAdmissionRejected, reason)
+	}
+	if f.closed {
+		return reject("fleet closed")
+	}
+	if f.draining {
+		return reject("fleet draining")
+	}
+	if len(f.active) >= f.cfg.MaxQueue {
+		return reject(fmt.Sprintf("queue full (%d unfinished jobs)", len(f.active)))
+	}
+	tenantActive := 0
+	for _, j := range f.active {
+		if j.tenant == spec.Tenant {
+			tenantActive++
+		}
+	}
+	if tenantActive >= f.cfg.TenantQuota {
+		return reject(fmt.Sprintf("tenant %q over quota (%d unfinished jobs)", spec.Tenant, tenantActive))
+	}
+	slice := f.sliceForLocked(spec)
+	if len(slice) == 0 {
+		return reject("no healthy worker available")
+	}
+	j, err := f.buildJobLocked(spec, slice)
+	if err != nil {
+		f.rejected++
+		led.Rejected++
+		return nil, err
+	}
+	f.active = append(f.active, j)
+	led.Admitted++
+	f.wakeAll()
+	return &JobHandle{f: f, j: j}, nil
+}
+
+// sliceForLocked picks the job's fleet slice: the fastest healthy
+// workers, capped by the Amdahl-style admission rule (at most
+// N²/MinCellsPerWorker workers — beyond that the extra input shipping
+// outweighs the extra compute) and by the spec's own MaxWorkers.
+func (f *Fleet) sliceForLocked(spec JobSpec) []int {
+	ids := make([]int, 0, len(f.speeds))
+	for w := range f.speeds {
+		if !f.health[w].quarantined {
+			ids = append(ids, w)
+		}
+	}
+	sort.SliceStable(ids, func(a, b int) bool { return f.speeds[ids[a]] > f.speeds[ids[b]] })
+	limit := len(ids)
+	if byWork := (spec.N * spec.N) / f.cfg.MinCellsPerWorker; byWork < limit {
+		limit = byWork
+	}
+	if spec.MaxWorkers > 0 && spec.MaxWorkers < limit {
+		limit = spec.MaxWorkers
+	}
+	if limit < 1 {
+		limit = min(1, len(ids))
+	}
+	ids = ids[:limit]
+	sort.Ints(ids)
+	return ids
+}
+
+// buildJobLocked plans the job over its slice and allocates its state.
+func (f *Fleet) buildJobLocked(spec JobSpec, slice []int) (*job, error) {
+	sliceSpeeds := make([]float64, len(slice))
+	for i, w := range slice {
+		sliceSpeeds[i] = f.speeds[w]
+	}
+	pl, err := platform.FromSpeeds(sliceSpeeds)
+	if err != nil {
+		return nil, fmt.Errorf("service: job platform: %w", err)
+	}
+	var plan *nrt.StrategyPlan
+	switch spec.Strategy {
+	case "hom":
+		plan, err = nrt.PlanHom(pl, spec.N)
+	case "hom/k":
+		plan, err = nrt.PlanHomK(pl, spec.N, 0.01, 0)
+	case "het":
+		plan, err = nrt.PlanHet(pl, spec.N)
+	default:
+		return nil, fmt.Errorf("service: unknown strategy %q (want hom, hom/k or het)", spec.Strategy)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: plan %s n=%d over %d workers: %w", spec.Strategy, spec.N, len(slice), err)
+	}
+	a, b := spec.A, spec.B
+	if a == nil || b == nil {
+		r := stats.NewRNG(spec.Seed)
+		a = stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, spec.N)
+		b = stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, spec.N)
+	}
+	f.seq++
+	j := newJob(f.seq, spec, slice, plan, a, b, len(f.speeds), f.now())
+	jctx := f.ctx
+	if spec.Deadline > 0 {
+		j.ctx, j.cancel = context.WithTimeout(jctx, spec.Deadline)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(jctx)
+	}
+	return j, nil
+}
+
+// Drain stops admission and waits for the in-flight jobs to finish. If
+// ctx expires first, the stragglers are failed cleanly (ErrFleetClosed)
+// so every waiter is answered, and ctx's error is returned.
+func (f *Fleet) Drain(ctx context.Context) error {
+	f.mu.Lock()
+	f.draining = true
+	pending := append([]*job(nil), f.active...)
+	f.mu.Unlock()
+	for _, j := range pending {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			f.mu.Lock()
+			for _, k := range append([]*job(nil), f.active...) {
+				f.finalizeLocked(k, fmt.Errorf("%w: drain deadline passed", ErrFleetClosed))
+			}
+			f.mu.Unlock()
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Close stops the fleet: admission is closed, workers exit, and every
+// unfinished job is failed with ErrFleetClosed so no waiter hangs.
+// Idempotent; safe after Drain.
+func (f *Fleet) Close() {
+	f.closeOnce.Do(func() {
+		f.mu.Lock()
+		f.closed = true
+		f.draining = true
+		// Fail the in-flight jobs first so waiters are answered promptly;
+		// chunks still computing commit to nowhere afterwards.
+		for _, j := range append([]*job(nil), f.active...) {
+			f.finalizeLocked(j, fmt.Errorf("%w: shutdown with job in flight", ErrFleetClosed))
+		}
+		f.mu.Unlock()
+		f.cancel()
+		f.wg.Wait()
+	})
+}
+
+// ledgerLocked returns (creating if needed) the tenant's ledger.
+func (f *Fleet) ledgerLocked(tenant string) *tenantLedger {
+	led := f.accounts[tenant]
+	if led == nil {
+		led = &tenantLedger{Tenant: tenant}
+		f.accounts[tenant] = led
+	}
+	return led
+}
+
+// LinkCapacity reports the shared master port's aggregate bandwidth
+// (0 when unconstrained) — threaded into each job's trace expectations.
+func (f *Fleet) LinkCapacity() float64 { return f.link.Capacity() }
