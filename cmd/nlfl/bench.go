@@ -36,14 +36,21 @@ func runBench(args []string) error {
 	rate := fs.Float64("rate", 0, "token-bucket rate scale in cells/second for a speed-1 worker (0 = default 2e6)")
 	chaosOnly := fs.Bool("chaos", false, "run (or with -validate, check) only the chaos sweep")
 	serviceOnly := fs.Bool("service", false, "run (or with -validate, check) only the fleet-service sweep")
+	topologyOnly := fs.Bool("topology", false, "run (or with -validate, check) only the network-topology sweep")
 	validate := fs.Bool("validate", false, "validate existing BENCH_*.json in -out instead of running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *chaosOnly && *serviceOnly {
-		return fmt.Errorf("bench: -chaos and -service are mutually exclusive")
+	only := 0
+	for _, f := range []bool{*chaosOnly, *serviceOnly, *topologyOnly} {
+		if f {
+			only++
+		}
 	}
-	_, _, _, chaosPath, servicePath := bench.Paths(*out)
+	if only > 1 {
+		return fmt.Errorf("bench: -chaos, -service and -topology are mutually exclusive")
+	}
+	_, _, _, chaosPath, servicePath, topologyPath := bench.Paths(*out)
 	if *validate {
 		if *chaosOnly {
 			cf, err := results.LoadBenchChaos(chaosPath)
@@ -67,10 +74,21 @@ func runBench(args []string) error {
 			fmt.Println("BENCH_service.json: schema ok, policy gate holds, chaos isolation exact, zero violations")
 			return nil
 		}
+		if *topologyOnly {
+			tf, err := results.LoadBenchTopology(topologyPath)
+			if err != nil {
+				return err
+			}
+			if err := bench.ValidateTopology(tf); err != nil {
+				return err
+			}
+			fmt.Println("BENCH_topology.json: schema ok, crossover shift holds (star yes, chain no), edge ledgers exact, zero violations")
+			return nil
+		}
 		if err := bench.ValidateFiles(*out); err != nil {
 			return err
 		}
-		fmt.Println("BENCH_kernels.json, BENCH_runtime.json, BENCH_link.json, BENCH_chaos.json, BENCH_service.json: schema ok, volumes within tolerance, zero violations")
+		fmt.Println("BENCH_kernels.json, BENCH_runtime.json, BENCH_link.json, BENCH_chaos.json, BENCH_service.json, BENCH_topology.json: schema ok, volumes within tolerance, zero violations")
 		return nil
 	}
 
@@ -107,8 +125,23 @@ func runBench(args []string) error {
 		fmt.Printf("\nwrote %s (policy gate holds, chaos isolation exact, zero trace violations)\n", servicePath)
 		return nil
 	}
+	if *topologyOnly {
+		tf, err := bench.RunTopologySweep(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		if err := bench.ValidateTopology(tf); err != nil {
+			return err
+		}
+		if err := results.SaveBenchTopology(topologyPath, tf); err != nil {
+			return err
+		}
+		printTopology(tf)
+		fmt.Printf("\nwrote %s (crossover shift holds, edge ledgers exact, zero trace violations)\n", topologyPath)
+		return nil
+	}
 
-	kernelsPath, runtimePath, linkPath, chaosPath, servicePath, err := bench.Run(ctx, cfg, *out)
+	kernelsPath, runtimePath, linkPath, chaosPath, servicePath, topologyPath, err := bench.Run(ctx, cfg, *out)
 	if err != nil {
 		return err
 	}
@@ -157,8 +190,14 @@ func runBench(args []string) error {
 	}
 	fmt.Println()
 	printService(sf)
-	fmt.Printf("\nwrote %s, %s, %s, %s and %s (all volumes within tolerance, zero trace violations)\n",
-		kernelsPath, runtimePath, linkPath, chaosPath, servicePath)
+	tf, err := results.LoadBenchTopology(topologyPath)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	printTopology(tf)
+	fmt.Printf("\nwrote %s, %s, %s, %s, %s and %s (all volumes within tolerance, zero trace violations)\n",
+		kernelsPath, runtimePath, linkPath, chaosPath, servicePath, topologyPath)
 	return nil
 }
 
@@ -172,6 +211,29 @@ func printChaos(cf results.ChaosBenchFile) {
 		fmt.Printf("  %-12s %-12s %-6s %10.1f %10.1f %10.1f %8.1f %5d %5d %5d %9.0f\n",
 			e.Platform, e.Class, e.Strategy, e.PlanVolume, e.ReplannedVolume, e.CommittedVolume,
 			e.WastedData, e.RetriedChunks, e.SpeculativeWins, e.DegradedWorkers, e.ReclaimedCells)
+	}
+}
+
+// printTopology renders the topology sweep: per (topology, bandwidth,
+// strategy), the delivered and relayed volumes and the makespan, then
+// the measured het-vs-hom crossover per topology.
+func printTopology(tf results.TopologyBenchFile) {
+	fmt.Printf("topology sweep (rate %.3g cells/s per unit speed, het-vs-hom crossover at %.2gx):\n",
+		tf.WorkPerSecond, tf.CrossoverThreshold)
+	fmt.Printf("  %-10s %-6s %10s %10s %10s %10s %8s\n",
+		"topology", "strat", "bw", "volume", "relayed", "makespan", "overlap")
+	for _, e := range tf.Entries {
+		fmt.Printf("  %-10s %-6s %10.3g %10.1f %10.1f %10.4f %8.3f\n",
+			e.Topology, e.Strategy, e.Bandwidth, e.MeasuredVolume, e.RelayVolume, e.Makespan, e.OverlapFraction)
+	}
+	for _, topo := range []string{"star", "chain", "two-source"} {
+		if bw, ok := tf.Crossovers[topo]; ok {
+			if bw > 0 {
+				fmt.Printf("  crossover %-10s bw=%.3g (het wins at and below this bandwidth)\n", topo, bw)
+			} else {
+				fmt.Printf("  crossover %-10s none (het never wins by the threshold)\n", topo)
+			}
+		}
 	}
 }
 

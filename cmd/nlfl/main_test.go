@@ -118,7 +118,7 @@ func TestCLIBench(t *testing.T) {
 	if err != nil {
 		t.Fatalf("bench run: %v", err)
 	}
-	for _, want := range []string{"kernels (autotuned tile", "runtime (rate", "hom/k", "het", "chaos sweep", "wrote"} {
+	for _, want := range []string{"kernels (autotuned tile", "runtime (rate", "hom/k", "het", "chaos sweep", "topology sweep", "crossover", "wrote"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("bench output missing %q:\n%s", want, truncate(out, 800))
 		}
@@ -191,9 +191,69 @@ func TestCLIBenchChaos(t *testing.T) {
 	}
 }
 
+// TestCLIBenchTopology drives the topology-only mode: the sweep must
+// hold the crossover-shift gate (star yes, chain no), emit a
+// BENCH_topology.json that round-trips through -topology -validate, and
+// keep its volume geometry deterministic across reruns (makespans are
+// free to differ — see EXPERIMENTS.md).
+func TestCLIBenchTopology(t *testing.T) {
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	var files [2]results.TopologyBenchFile
+	for i, dir := range dirs {
+		out, err := capture(t, func() error {
+			return run([]string{"bench", "-topology", "-quick", "-seed", "42", "-out", dir})
+		})
+		if err != nil {
+			t.Fatalf("bench -topology: %v\n%s", err, out)
+		}
+		for _, want := range []string{"topology sweep", "star", "chain", "two-source",
+			"crossover star", "crossover chain", "none (het never wins", "wrote"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("bench -topology output missing %q:\n%s", want, truncate(out, 1200))
+			}
+		}
+		files[i], err = results.LoadBenchTopology(dir + "/BENCH_topology.json")
+		if err != nil {
+			t.Fatalf("emitted topology artifact unreadable: %v", err)
+		}
+	}
+	if len(files[0].Entries) != len(files[1].Entries) {
+		t.Fatalf("entry counts differ across reruns: %d vs %d", len(files[0].Entries), len(files[1].Entries))
+	}
+	for i := range files[0].Entries {
+		a, b := files[0].Entries[i], files[1].Entries[i]
+		if a.Topology != b.Topology || a.Strategy != b.Strategy || a.Bandwidth != b.Bandwidth ||
+			a.MeasuredVolume != b.MeasuredVolume || a.RelayVolume != b.RelayVolume {
+			t.Errorf("entry %d geometry not deterministic: %+v vs %+v", i, a, b)
+		}
+	}
+	for topo, bw := range map[string]float64{"star": 2e4, "chain": 0} {
+		if files[0].Crossovers[topo] != bw {
+			t.Errorf("crossover %s = %v, want %v", topo, files[0].Crossovers[topo], bw)
+		}
+	}
+
+	out, err := capture(t, func() error {
+		return run([]string{"bench", "-topology", "-validate", "-out", dirs[0]})
+	})
+	if err != nil {
+		t.Fatalf("bench -topology -validate on freshly emitted artifact: %v", err)
+	}
+	if !strings.Contains(out, "BENCH_topology.json: schema ok") {
+		t.Errorf("topology validate output missing confirmation:\n%s", truncate(out, 800))
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"bench", "-topology", "-validate", "-out", t.TempDir()})
+	}); err == nil {
+		t.Error("bench -topology -validate on an empty directory should fail")
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	cases := [][]string{
 		{"nope"},
+		{"bench", "-chaos", "-topology"},
+		{"bench", "-service", "-topology"},
 		{"fig4", "-dist", "bogus"},
 		{"nonlinear", "-alphas", "x"},
 		{"nonlinear", "-ps", "x"},

@@ -21,14 +21,15 @@ import (
 	"runtime"
 )
 
-// KernelsFileName, RuntimeFileName, LinkFileName, ChaosFileName and
-// ServiceFileName are the emitted artifact names.
+// KernelsFileName, RuntimeFileName, LinkFileName, ChaosFileName,
+// ServiceFileName and TopologyFileName are the emitted artifact names.
 const (
-	KernelsFileName = "BENCH_kernels.json"
-	RuntimeFileName = "BENCH_runtime.json"
-	LinkFileName    = "BENCH_link.json"
-	ChaosFileName   = "BENCH_chaos.json"
-	ServiceFileName = "BENCH_service.json"
+	KernelsFileName  = "BENCH_kernels.json"
+	RuntimeFileName  = "BENCH_runtime.json"
+	LinkFileName     = "BENCH_link.json"
+	ChaosFileName    = "BENCH_chaos.json"
+	ServiceFileName  = "BENCH_service.json"
+	TopologyFileName = "BENCH_topology.json"
 )
 
 // Config selects the measurement envelope.
@@ -48,10 +49,11 @@ type Config struct {
 func maxProcs() int { return runtime.GOMAXPROCS(0) }
 
 // Paths returns the artifact paths under dir.
-func Paths(dir string) (kernels, runtimePath, link, chaos, service string) {
+func Paths(dir string) (kernels, runtimePath, link, chaos, service, topology string) {
 	return filepath.Join(dir, KernelsFileName),
 		filepath.Join(dir, RuntimeFileName),
 		filepath.Join(dir, LinkFileName),
 		filepath.Join(dir, ChaosFileName),
-		filepath.Join(dir, ServiceFileName)
+		filepath.Join(dir, ServiceFileName),
+		filepath.Join(dir, TopologyFileName)
 }

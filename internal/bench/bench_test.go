@@ -12,7 +12,7 @@ import (
 func TestRunQuickEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	cfg := Config{Seed: 42, Quick: true}
-	kernelsPath, runtimePath, linkPath, chaosPath, servicePath, err := Run(context.Background(), cfg, dir)
+	kernelsPath, runtimePath, linkPath, chaosPath, servicePath, topologyPath, err := Run(context.Background(), cfg, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,6 +108,29 @@ func TestRunQuickEndToEnd(t *testing.T) {
 			t.Errorf("service %s load=%.2f: %d invariant violations in a passing run",
 				e.Policy, e.LoadFactor, e.Violations)
 		}
+	}
+
+	tf, err := results.LoadBenchTopology(topologyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick config: 3 topologies × 2 bandwidths × 2 strategies.
+	if len(tf.Entries) != 12 {
+		t.Fatalf("topology file has %d entries, want 12", len(tf.Entries))
+	}
+	for _, e := range tf.Entries {
+		if e.Violations != 0 {
+			t.Errorf("topology %s/%s bw=%g: %d invariant violations in a passing run",
+				e.Topology, e.Strategy, e.Bandwidth, e.Violations)
+		}
+	}
+	// The crossover-shift headline: het wins somewhere on the star, never
+	// on the hop-limited chain.
+	if tf.Crossovers["star"] <= 0 {
+		t.Errorf("no star crossover recorded: %v", tf.Crossovers)
+	}
+	if tf.Crossovers["chain"] != 0 {
+		t.Errorf("chain crossover recorded at bw=%v", tf.Crossovers["chain"])
 	}
 }
 
@@ -331,7 +354,10 @@ func TestSweepsHonorCancelledContext(t *testing.T) {
 	if _, err := RunServiceSweep(ctx, cfg); !errors.Is(err, context.Canceled) {
 		t.Errorf("RunServiceSweep under cancelled ctx: %v", err)
 	}
-	if _, _, _, _, _, err := Run(ctx, cfg, t.TempDir()); !errors.Is(err, context.Canceled) {
+	if _, err := RunTopologySweep(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunTopologySweep under cancelled ctx: %v", err)
+	}
+	if _, _, _, _, _, _, err := Run(ctx, cfg, t.TempDir()); !errors.Is(err, context.Canceled) {
 		t.Errorf("Run under cancelled ctx: %v", err)
 	}
 }

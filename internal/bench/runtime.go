@@ -154,16 +154,17 @@ func RunRuntime(ctx context.Context, cfg Config) (results.RuntimeBenchFile, erro
 }
 
 // Run executes the full harness — kernels, runtime strategies, the
-// bandwidth-modeled link sweep, the chaos sweep, and the multi-tenant
-// service sweep — and writes the five artifacts into dir, returning
-// their paths. Every payload is validated before writing; a file that
-// would fail the CI schema gate is never emitted. A cancelled ctx stops
-// at the next sweep boundary with nothing written.
-func Run(ctx context.Context, cfg Config, dir string) (kernelsPath, runtimePath, linkPath, chaosPath, servicePath string, err error) {
-	fail := func(err error) (string, string, string, string, string, error) {
-		return "", "", "", "", "", err
+// bandwidth-modeled link sweep, the chaos sweep, the multi-tenant
+// service sweep, and the network-topology sweep — and writes the six
+// artifacts into dir, returning their paths. Every payload is validated
+// before writing; a file that would fail the CI schema gate is never
+// emitted. A cancelled ctx stops at the next sweep boundary with
+// nothing written.
+func Run(ctx context.Context, cfg Config, dir string) (kernelsPath, runtimePath, linkPath, chaosPath, servicePath, topologyPath string, err error) {
+	fail := func(err error) (string, string, string, string, string, string, error) {
+		return "", "", "", "", "", "", err
 	}
-	kernelsPath, runtimePath, linkPath, chaosPath, servicePath = Paths(dir)
+	kernelsPath, runtimePath, linkPath, chaosPath, servicePath, topologyPath = Paths(dir)
 	kf, err := RunKernels(ctx, cfg)
 	if err != nil {
 		return fail(err)
@@ -199,6 +200,13 @@ func Run(ctx context.Context, cfg Config, dir string) (kernelsPath, runtimePath,
 	if err := ValidateService(sf); err != nil {
 		return fail(err)
 	}
+	tf, err := RunTopologySweep(ctx, cfg)
+	if err != nil {
+		return fail(err)
+	}
+	if err := ValidateTopology(tf); err != nil {
+		return fail(err)
+	}
 	if err := results.SaveBenchKernels(kernelsPath, kf); err != nil {
 		return fail(err)
 	}
@@ -214,5 +222,8 @@ func Run(ctx context.Context, cfg Config, dir string) (kernelsPath, runtimePath,
 	if err := results.SaveBenchService(servicePath, sf); err != nil {
 		return fail(err)
 	}
-	return kernelsPath, runtimePath, linkPath, chaosPath, servicePath, nil
+	if err := results.SaveBenchTopology(topologyPath, tf); err != nil {
+		return fail(err)
+	}
+	return kernelsPath, runtimePath, linkPath, chaosPath, servicePath, topologyPath, nil
 }

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"errors"
+	"testing"
+
+	"nlfl/internal/results"
+)
+
+// goodTopologyFile builds a minimal well-formed BENCH_topology payload:
+// het beats hom by the threshold on the star, never on the chain, and
+// the second source makes two-source hom faster than star hom.
+func goodTopologyFile() results.TopologyBenchFile {
+	star := func(strat string, mk float64) results.TopologyBenchEntry {
+		return results.TopologyBenchEntry{
+			Platform: "p", Speeds: []float64{1, 3}, Topology: "star", Strategy: strat,
+			N: 8, Bandwidth: 1e4, MeasuredVolume: 32, PredictedVolume: 32,
+			Makespan: mk, CommTime: mk / 2, OverlapFraction: 0.4,
+			Edges: []results.TopologyEdge{{Name: "master-port", Capacity: 1e4, Volume: 32, Utilization: 0.5}},
+		}
+	}
+	chain := func(strat string, mk float64) results.TopologyBenchEntry {
+		return results.TopologyBenchEntry{
+			Platform: "p", Speeds: []float64{1, 3}, Topology: "chain", Strategy: strat,
+			N: 8, Bandwidth: 1e4, MeasuredVolume: 32, PredictedVolume: 32,
+			RelayVolume: 12, Makespan: mk, CommTime: mk / 2, OverlapFraction: 0.4,
+			Edges: []results.TopologyEdge{
+				{Name: "hop-0", Capacity: 1e4, Volume: 32, Utilization: 0.5},
+				{Name: "hop-1", Capacity: 1e4, Volume: 12, Utilization: 0.3},
+			},
+		}
+	}
+	twoSource := func(strat string, mk float64) results.TopologyBenchEntry {
+		return results.TopologyBenchEntry{
+			Platform: "p", Speeds: []float64{1, 3}, Topology: "two-source", Strategy: strat,
+			N: 8, Bandwidth: 1e4, MeasuredVolume: 32, PredictedVolume: 32,
+			Makespan: mk, CommTime: mk / 2, OverlapFraction: 0.4,
+			Edges: []results.TopologyEdge{
+				{Name: "source-0", Capacity: 1e4, Volume: 20, Utilization: 0.5},
+				{Name: "source-1", Capacity: 1e4, Volume: 12, Utilization: 0.3},
+			},
+		}
+	}
+	return results.TopologyBenchFile{
+		Schema: results.BenchTopologySchema, WorkPerSecond: 2e5,
+		CrossoverThreshold: 0.7,
+		Crossovers:         map[string]float64{"star": 1e4, "chain": 0, "two-source": 0},
+		Entries: []results.TopologyBenchEntry{
+			star("hom", 0.2), star("het", 0.1), // 0.1 < 0.7·0.2: het wins
+			chain("hom", 0.2), chain("het", 0.19), // no win
+			twoSource("hom", 0.15), twoSource("het", 0.14), // faster than star hom, no win
+		},
+	}
+}
+
+func TestValidateTopologyRejectsBrokenFiles(t *testing.T) {
+	if err := ValidateTopology(goodTopologyFile()); err != nil {
+		t.Fatalf("well-formed topology file rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*results.TopologyBenchFile){
+		"wrong-schema":    func(f *results.TopologyBenchFile) { f.Schema = "wrong" },
+		"no-entries":      func(f *results.TopologyBenchFile) { f.Entries = nil },
+		"bad-threshold":   func(f *results.TopologyBenchFile) { f.CrossoverThreshold = 1.2 },
+		"zero-bandwidth":  func(f *results.TopologyBenchFile) { f.Entries[0].Bandwidth = 0 },
+		"overlap-above-1": func(f *results.TopologyBenchFile) { f.Entries[0].OverlapFraction = 1.5 },
+		"violations":      func(f *results.TopologyBenchFile) { f.Entries[0].Violations = 1 },
+		"no-edge-rows":    func(f *results.TopologyBenchFile) { f.Entries[0].Edges = nil },
+		"util-above-1":    func(f *results.TopologyBenchFile) { f.Entries[0].Edges[0].Utilization = 2 },
+		"chain-no-relay":  func(f *results.TopologyBenchFile) { f.Entries[3].RelayVolume = 0 },
+		"chain-nonmonotone": func(f *results.TopologyBenchFile) {
+			// Also keep the ledger closed so only monotonicity trips.
+			f.Entries[3].Edges[0].Volume = 12
+			f.Entries[3].Edges[1].Volume = 32
+		},
+		"chain-ledger-leak": func(f *results.TopologyBenchFile) { f.Entries[3].Edges[1].Volume = 20 },
+		"star-with-relay":   func(f *results.TopologyBenchFile) { f.Entries[0].RelayVolume = 5 },
+		"crossover-mismatch": func(f *results.TopologyBenchFile) {
+			f.Crossovers["star"] = 0
+		},
+		"no-star-crossover": func(f *results.TopologyBenchFile) {
+			f.Entries[1].Makespan = 0.19 // het no longer wins anywhere
+			f.Crossovers["star"] = 0
+		},
+		"chain-crossover-appears": func(f *results.TopologyBenchFile) {
+			f.Entries[3].Makespan = 0.05 // chain het suddenly wins
+			f.Crossovers["chain"] = 1e4
+		},
+		"two-source-not-faster": func(f *results.TopologyBenchFile) {
+			f.Entries[4].Makespan = 0.25 // behind star hom despite two sources
+			f.Entries[5].Makespan = 0.2  // keep het short of the threshold
+		},
+	} {
+		f := goodTopologyFile()
+		mutate(&f)
+		if err := ValidateTopology(f); !errors.Is(err, ErrInvalidBench) {
+			t.Errorf("topology %s: broken file accepted: %v", name, err)
+		}
+	}
+}

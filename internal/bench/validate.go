@@ -112,10 +112,10 @@ func ValidateRuntime(f results.RuntimeBenchFile) error {
 	return nil
 }
 
-// ValidateFiles loads and validates all five artifacts under dir — the
+// ValidateFiles loads and validates all six artifacts under dir — the
 // CI bench-smoke gate.
 func ValidateFiles(dir string) error {
-	kernelsPath, runtimePath, linkPath, chaosPath, servicePath := Paths(dir)
+	kernelsPath, runtimePath, linkPath, chaosPath, servicePath, topologyPath := Paths(dir)
 	kf, err := results.LoadBenchKernels(kernelsPath)
 	if err != nil {
 		return err
@@ -148,5 +148,12 @@ func ValidateFiles(dir string) error {
 	if err != nil {
 		return err
 	}
-	return ValidateService(sf)
+	if err := ValidateService(sf); err != nil {
+		return err
+	}
+	tf, err := results.LoadBenchTopology(topologyPath)
+	if err != nil {
+		return err
+	}
+	return ValidateTopology(tf)
 }

@@ -341,14 +341,22 @@ func (r *runner) chaosWorker(w int, cs *chaosState, cq *chaosQueue) {
 			}
 			dropped := cs.dropTransfer(w, t0)
 			var t1 float64
-			if r.link != nil && !math.IsInf(r.link.rateFor(w), 1) {
-				t0, t1 = r.link.book(w, data)
+			if r.net != nil && r.net.constrained(w) {
+				del, relays := r.net.book(w, data)
+				t0, t1 = del.start, del.end
 				if !dropped {
 					aBuf = append(aBuf[:0], r.a[c.RowLo:c.RowHi]...)
 					bBuf = append(bBuf[:0], r.b[c.ColLo:c.ColHi]...)
 				}
-				if !r.link.wait(r.ctx, t1) {
+				if !r.net.wait(r.ctx, t1) {
 					return
+				}
+				// Relays are recorded for dropped attempts too: the payload
+				// crossed the intermediate hops and burned their bandwidth
+				// before the loss was noticed at delivery.
+				for _, h := range relays {
+					r.live.AddRelay(trace.Relay{Edge: h.edge, Dest: w, Start: h.start, End: h.end,
+						Data: data, Task: c.Task})
 				}
 			} else {
 				if !dropped {

@@ -1,12 +1,5 @@
 package runtime
 
-import (
-	"context"
-	"math"
-	"sync"
-	"time"
-)
-
 // Link configures the bandwidth-modeled master link. The paper's
 // Section 4 minimises communication *volume* because the master's
 // outgoing links are the contended resource; this model makes that
@@ -14,6 +7,11 @@ import (
 // tradition of linear-network DLT (Gallet–Robert–Vivien) and shared-link
 // network scheduling (Wu–Cao–Robertazzi). The zero value disables the
 // model: chunk inputs are copied at memcpy speed, as before.
+//
+// Link is the star-shaped special case of the Topology interface
+// (topology.go): the runtime converts it into the equivalent Star value
+// via starFromLink, and books transfers through the same netLink engine
+// every topology uses.
 type Link struct {
 	// ElemsPerSecond is the aggregate bandwidth of the master's outgoing
 	// link in vector elements per second, shared one-port style by all
@@ -27,8 +25,8 @@ type Link struct {
 	PerWorker []float64
 }
 
-// enabled reports whether any bandwidth constraint is configured.
-func (l Link) enabled() bool {
+// Enabled reports whether any bandwidth constraint is configured.
+func (l Link) Enabled() bool {
 	if l.ElemsPerSecond > 0 {
 		return true
 	}
@@ -38,101 +36,4 @@ func (l Link) enabled() bool {
 		}
 	}
 	return false
-}
-
-// masterLink books transfers onto the modeled network. It keeps a
-// next-free instant for the shared master port and for each worker's own
-// link; a booking starts at the latest of "now" and the relevant
-// next-free instants, lasts Data/bottleneck-rate, and pushes the
-// next-free instants to its end. Workers sleep until their booked window
-// has elapsed, so measured makespans include the modeled transfer time
-// and recorded Comm spans tile the link timeline exactly — which is what
-// lets trace.Check enforce the link-capacity invariant tightly.
-type masterLink struct {
-	mu    sync.Mutex
-	agg   float64   // shared-port rate (elements/s; ≤0 = unconstrained)
-	per   []float64 // per-worker rates (elements/s; ≤0 = uncapped)
-	free  float64   // live-seconds instant the shared port is next free
-	freeW []float64 // live-seconds instants each worker link is next free
-	now   func() float64
-	// slowdown, when set, scales the effective rate of a transfer to
-	// worker w booked at live instant t (the chaos layer's LinkSlow
-	// realization: factor < 1 stretches the booked window). Sampled once
-	// at booking time; a window boundary crossing mid-transfer does not
-	// re-rate the transfer.
-	slowdown func(w int, t float64) float64
-}
-
-// newMasterLink builds the booking state for the configured link; nil
-// when the model is disabled.
-func newMasterLink(cfg Link, workers int, now func() float64) *masterLink {
-	if !cfg.enabled() {
-		return nil
-	}
-	per := make([]float64, workers)
-	copy(per, cfg.PerWorker)
-	return &masterLink{agg: cfg.ElemsPerSecond, per: per, freeW: make([]float64, workers), now: now}
-}
-
-// rateFor returns the bottleneck rate of a transfer to worker w
-// (+Inf when neither the shared port nor the worker's link is capped).
-func (ml *masterLink) rateFor(w int) float64 {
-	r := math.Inf(1)
-	if ml.agg > 0 {
-		r = ml.agg
-	}
-	if p := ml.per[w]; p > 0 && p < r {
-		r = p
-	}
-	return r
-}
-
-// book reserves the next window of elems elements for worker w and
-// returns it in live-clock seconds. It never sleeps; pair it with wait.
-func (ml *masterLink) book(w int, elems float64) (start, end float64) {
-	rate := ml.rateFor(w)
-	ml.mu.Lock()
-	defer ml.mu.Unlock()
-	start = ml.now()
-	if ml.slowdown != nil {
-		if f := ml.slowdown(w, start); f > 0 && f < 1 {
-			rate *= f
-		}
-	}
-	dur := elems / rate
-	if ml.agg > 0 && ml.free > start {
-		start = ml.free
-	}
-	if ml.per[w] > 0 && ml.freeW[w] > start {
-		start = ml.freeW[w]
-	}
-	end = start + dur
-	if ml.agg > 0 {
-		ml.free = end
-	}
-	if ml.per[w] > 0 {
-		ml.freeW[w] = end
-	}
-	return start, end
-}
-
-// wait sleeps until the booked window's end has passed on the live clock,
-// or until ctx is cancelled — false means cancelled. Under a constrained
-// one-port link a booked window can sit far in the future (every earlier
-// booking serializes ahead of it), so an uninterruptible sleep here used
-// to delay RunContext cancellation by the whole backlog; cancellation
-// must instead abandon the window immediately.
-func (ml *masterLink) wait(ctx context.Context, end float64) bool {
-	d := end - ml.now()
-	if d <= 0 {
-		return ctx.Err() == nil
-	}
-	t := time.NewTimer(time.Duration(d * float64(time.Second)))
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return false
-	case <-t.C:
-		return true
-	}
 }

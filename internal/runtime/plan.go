@@ -149,6 +149,71 @@ func PlanHomK(pl *platform.Platform, n int, eps float64, maxK int) (*StrategyPla
 	}, nil
 }
 
+// EdgeLoads returns, per topology edge, the data volume the plan ships
+// across it: each chunk's Data attributed to every edge on its owner's
+// route. ok is false when any chunk is ownerless (demand-driven plans
+// assign chunks at run time, so their edge traffic is not known
+// statically). For an owned fault-free run, Report.Edges volumes equal
+// these loads exactly.
+func EdgeLoads(plan *StrategyPlan, topo Topology) (loads []float64, ok bool) {
+	if topo == nil {
+		return nil, false
+	}
+	loads = make([]float64, len(topo.Edges()))
+	for _, c := range plan.Chunks {
+		if c.Owner < 0 {
+			return nil, false
+		}
+		for _, e := range topo.Route(c.Owner) {
+			loads[e] += float64(c.Data())
+		}
+	}
+	return loads, true
+}
+
+// DeliveryFloor returns an analytic lower bound on the makespan of an
+// owned plan over the topology, from bandwidth alone (compute ignored):
+// the largest of (a) each capped edge's total load divided by its
+// capacity — the edge must carry that volume serially — and (b) each
+// chunk's own transfer time summed over the capped edges of its route,
+// the hop-serialized delivery cost a store-and-forward network charges
+// even with every edge otherwise idle. ok is false for demand-driven
+// plans (no static routes) or when no route has a capped edge.
+func DeliveryFloor(plan *StrategyPlan, topo Topology) (floor float64, ok bool) {
+	loads, ok := EdgeLoads(plan, topo)
+	if !ok {
+		return 0, false
+	}
+	edges := topo.Edges()
+	any := false
+	for e, load := range loads {
+		if edges[e].Capacity > 0 && load > 0 {
+			any = true
+			if f := load / edges[e].Capacity; f > floor {
+				floor = f
+			}
+		}
+	}
+	for _, c := range plan.Chunks {
+		t := 0.0
+		for _, e := range topo.Route(c.Owner) {
+			if edges[e].Capacity > 0 {
+				t += float64(c.Data()) / edges[e].Capacity
+				any = true
+			}
+		}
+		if !topo.StoreAndForward() {
+			// A circuit transfer holds all route edges for one window at
+			// the bottleneck rate, which (a) already dominates.
+			t = 0
+		}
+		if t > floor {
+			floor = t
+		}
+	}
+	return floor, any
+}
+
 // PlanHet builds the Heterogeneous Blocks plan: one owned chunk per worker
 // from the PERI-SUM rectangle partition, snapped to the integer grid. The
 // prediction is Σ(wᵢ+hᵢ) over the *snapped* rectangles — what this plan

@@ -42,8 +42,14 @@ type Options struct {
 	// cell against a[i]·b[j] after the run and fails the run on mismatch.
 	VerifyEvery int
 	// Link models the master's outgoing bandwidth (see Link); the zero
-	// value ships chunk inputs at memcpy speed.
+	// value ships chunk inputs at memcpy speed. Link is the star-shaped
+	// shorthand for Topology and cannot be combined with it.
 	Link Link
+	// Topology selects the modeled network shape (star, linear
+	// daisy-chain, two-source — see Topology). nil with a zero Link
+	// ships at memcpy speed; setting Link is equivalent to the Star
+	// topology with Link's rates. Mutually exclusive with Link.
+	Topology Topology
 	// Prefetch enables double-buffered prefetch: while a worker computes
 	// one chunk it claims and transfers the next, overlapping the
 	// transfer with the current chunk's compute. The overlapped fraction
@@ -95,13 +101,32 @@ type Report struct {
 	// the same worker's compute spans — ~0 without prefetch, approaching
 	// 1 when transfers are fully pipelined behind compute.
 	OverlapFraction float64
-	// LinkUtilization is each worker's comm-busy fraction of the
-	// makespan — how long its incoming link was occupied.
+	// LinkUtilization is each worker's delivery-comm-busy fraction of
+	// the makespan — how long its final incoming hop was occupied. On
+	// multi-hop topologies this is a per-worker view only; Edges carries
+	// the per-edge occupancy that generalizes it.
 	LinkUtilization []float64
-	// LinkCapacity echoes Options.Link.ElemsPerSecond (0 when the shared
-	// port was unconstrained); Expect threads it to the trace oracle's
-	// link-capacity invariant.
+	// LinkCapacity is the star aggregate master-port rate (0 when the
+	// shared port was unconstrained or the topology is not a star);
+	// Expect threads it to the trace oracle's aggregate link-capacity
+	// invariant. Per-edge capacities — meaningful on every topology —
+	// are in Edges and are what Expect's per-edge sweep audits.
 	LinkCapacity float64
+	// Topology names the modeled network ("star", "chain", "two-source";
+	// "" when transfers ran at memcpy speed).
+	Topology string
+	// Edges is the per-edge measured traffic (nil without a network
+	// model): booked volume (drops included), busy seconds, and
+	// busy/makespan utilization.
+	Edges []EdgeReport
+	// RelayVolume is the data that crossed intermediate hops (chain
+	// forwarding traffic; 0 on single-hop topologies). DataVolume counts
+	// delivered payloads only — relays are extra network occupancy, not
+	// extra deliveries.
+	RelayVolume float64
+	// SpanRoutes[w] lists the edge ids worker w's delivery Comm spans
+	// occupy (trace.Expect.Routes); nil rows are unconstrained workers.
+	SpanRoutes [][]int
 
 	// Chaos reports whether the run executed under the fault-injection
 	// layer; the recovery ledger below is zero without it.
@@ -145,8 +170,9 @@ type Report struct {
 // Expect returns the invariant-oracle expectations for the run: exact
 // work conservation (every cell computed once), the exact shipping ledger,
 // the strategy's analytic volume bound within relTol, and — when the run
-// modeled a shared master link — the link-capacity invariant at that
-// bandwidth. Fault-free runs pin the measured volume to the closed form
+// modeled a network — the aggregate link-capacity invariant (star) plus
+// the per-edge capacity sweep and per-edge volume ledger over the
+// topology's edges. Fault-free runs pin the measured volume to the closed form
 // exactly; chaos runs switch to the no-free-lunch floor (faults only ever
 // add traffic, so the executed plan's volume bounds the measured volume
 // from below) and arm the exactly-once invariant, with the waste ledger
@@ -173,6 +199,13 @@ func (r *Report) Expect(relTol float64) *trace.Expect {
 		e.WastedWork = r.WastedWorkCells
 		e.LostWork = r.LostWorkCells
 	}
+	if len(r.Edges) > 0 {
+		e.Edges = make([]trace.ExpectEdge, len(r.Edges))
+		for i, ed := range r.Edges {
+			e.Edges[i] = trace.ExpectEdge{Name: ed.Name, Capacity: ed.Capacity, Volume: ed.Volume, HasVolume: true}
+		}
+		e.Routes = r.SpanRoutes
+	}
 	return e
 }
 
@@ -194,7 +227,7 @@ type runner struct {
 
 	out      *matmul.Matrix
 	live     *trace.Live
-	link     *masterLink
+	net      *netLink
 	perData  []float64 // written only by each worker's own goroutine
 	perCells []float64
 
@@ -314,6 +347,17 @@ func RunContext(ctx context.Context, plan *StrategyPlan, a, b []float64, opts Op
 	if lp := len(opts.Link.PerWorker); lp != 0 && lp != p {
 		return nil, fmt.Errorf("runtime: %d per-worker link rates for %d workers", lp, p)
 	}
+	topo := opts.Topology
+	if topo != nil {
+		if opts.Link.Enabled() {
+			return nil, fmt.Errorf("runtime: Options.Topology and Options.Link are mutually exclusive (Link is the star shorthand)")
+		}
+		if err := topo.Validate(p); err != nil {
+			return nil, err
+		}
+	} else {
+		topo = starFromLink(opts.Link, p)
+	}
 	for _, c := range plan.Chunks {
 		if c.RowLo < 0 || c.ColLo < 0 || c.RowHi > n || c.ColHi > n || c.Cells() <= 0 {
 			return nil, fmt.Errorf("runtime: chunk %d has invalid bounds rows[%d,%d) cols[%d,%d)", c.Task, c.RowLo, c.RowHi, c.ColLo, c.ColHi)
@@ -359,14 +403,14 @@ func RunContext(ctx context.Context, plan *StrategyPlan, a, b []float64, opts Op
 		rate:     rate,
 		out:      matmul.New(n, n),
 		live:     trace.NewLive(p),
-		link:     newMasterLink(opts.Link, p, nil),
+		net:      newNetLink(topo, p, nil),
 		perData:  make([]float64, p),
 		perCells: make([]float64, p),
 		ctx:      runCtx,
 		cancel:   cancel,
 	}
-	if r.link != nil {
-		r.link.now = r.live.Now
+	if r.net != nil {
+		r.net.now = r.live.Now
 	}
 
 	var body func(int)
@@ -374,8 +418,8 @@ func RunContext(ctx context.Context, plan *StrategyPlan, a, b []float64, opts Op
 	if chaosOn {
 		cs := compileChaos(opts.Chaos, p)
 		cq = newChaosQueue(plan.Chunks, p, shards, opts.Chaos.SpeculateAfter)
-		if r.link != nil {
-			r.link.slowdown = cs.linkScale
+		if r.net != nil {
+			r.net.slowdown = cs.linkScale
 		}
 		body = func(w int) { r.chaosWorker(w, cs, cq) }
 	} else {
@@ -425,7 +469,6 @@ func RunContext(ctx context.Context, plan *StrategyPlan, a, b []float64, opts Op
 		PerWorkerCells:    r.perCells,
 		PerWorkerCommTime: tl.CommTimes(),
 		LinkUtilization:   make([]float64, p),
-		LinkCapacity:      math.Max(opts.Link.ElemsPerSecond, 0),
 		Chaos:             chaosOn,
 		RetriedChunks:     r.retried,
 		SpeculativeWins:   r.specWins,
@@ -439,6 +482,17 @@ func RunContext(ctx context.Context, plan *StrategyPlan, a, b []float64, opts Op
 		LostWorkCells:     r.lostWork,
 		Out:               r.out,
 		Trace:             tl,
+	}
+	if st, ok := topo.(Star); ok {
+		// Preserve the legacy aggregate-capacity semantics: only a star
+		// has a single master port; the per-edge invariant covers the rest.
+		rep.LinkCapacity = math.Max(st.Aggregate, 0)
+	}
+	if r.net != nil {
+		rep.Topology = r.net.name
+		rep.Edges = r.net.edgeReports(tl.Makespan)
+		rep.RelayVolume = tl.RelayVolume()
+		rep.SpanRoutes = r.net.spanRoutes()
 	}
 	for _, d := range r.perData {
 		rep.DataVolume += d
@@ -490,12 +544,17 @@ func (r *runner) fastWorker(w int, queue *workQueue) {
 	fetch := func(c Chunk, slot int) staged {
 		bb := &bufs[slot]
 		var t0, t1 float64
-		if r.link != nil && !math.IsInf(r.link.rateFor(w), 1) {
-			t0, t1 = r.link.book(w, float64(c.Data()))
+		if r.net != nil && r.net.constrained(w) {
+			del, relays := r.net.book(w, float64(c.Data()))
+			t0, t1 = del.start, del.end
 			bb.a = append(bb.a[:0], r.a[c.RowLo:c.RowHi]...)
 			bb.b = append(bb.b[:0], r.b[c.ColLo:c.ColHi]...)
-			if !r.link.wait(r.ctx, t1) {
+			if !r.net.wait(r.ctx, t1) {
 				return staged{c: c, aBuf: bb.a, bBuf: bb.b}
+			}
+			for _, h := range relays {
+				r.live.AddRelay(trace.Relay{Edge: h.edge, Dest: w, Start: h.start, End: h.end,
+					Data: float64(c.Data()), Task: c.Task})
 			}
 		} else {
 			t0 = r.live.Now()

@@ -332,6 +332,14 @@ type JobReport struct {
 	SpeculativeWins int
 	DegradedWorkers int
 	LinkCapacity    float64
+	// Topology names the fleet's network family; Edges carries its
+	// per-edge capacities and SpanRoutes the edges each worker's delivery
+	// spans occupy. Expect arms the per-edge capacity sweep with them —
+	// capacity only, no volume ledger, because the edges are shared by
+	// every job while this report sees one job's traffic.
+	Topology   string
+	Edges      []nrt.EdgeReport
+	SpanRoutes [][]int
 
 	Failed bool
 	Err    string
@@ -369,6 +377,16 @@ func (r *JobReport) Expect(relTol float64) *trace.Expect {
 		e.ExactlyOnce = true
 		e.WastedWork = r.WastedWorkCells
 		e.LostWork = r.LostWorkCells
+	}
+	if len(r.Edges) > 0 {
+		// Capacity sweep only: a single job's traffic is a subset of the
+		// shared edges' load, so exceeding capacity is still a violation
+		// but a per-edge volume ledger would be meaningless here.
+		e.Edges = make([]trace.ExpectEdge, len(r.Edges))
+		for i, ed := range r.Edges {
+			e.Edges[i] = trace.ExpectEdge{Name: ed.Name, Capacity: ed.Capacity}
+		}
+		e.Routes = r.SpanRoutes
 	}
 	return e
 }
@@ -416,7 +434,10 @@ func (f *Fleet) finalizeLocked(j *job, err error) {
 		RetriedChunks:   j.retried,
 		SpeculativeWins: j.specWins,
 		DegradedWorkers: j.degraded,
-		LinkCapacity:    f.link.Capacity(),
+		LinkCapacity:    f.net.Capacity(),
+		Topology:        f.Topology(),
+		Edges:           f.edgeRows(),
+		SpanRoutes:      f.net.SpanRoutes(),
 
 		Failed: err != nil,
 		Trace:  j.tl,

@@ -80,7 +80,14 @@ type Config struct {
 	Burst float64
 	// Link models the master's outgoing bandwidth, shared one-port style
 	// by every job's transfers; the zero value ships at memcpy speed.
+	// Link is the star shorthand for Topology and cannot be combined
+	// with it.
 	Link nrt.Link
+	// Topology selects the fleet's network shape (star, chain,
+	// two-source — see nrt.Topology), shared by every job's transfers.
+	// Mutually exclusive with Link; nil with a zero Link ships at memcpy
+	// speed.
+	Topology nrt.Topology
 	// Policy selects the scheduling discipline; "" means PolicyFIFO.
 	Policy Policy
 	// AgingCellsPerSec is the SRPT anti-starvation rate: a waiting job's
@@ -153,7 +160,7 @@ type Fleet struct {
 	speeds []float64
 	rate   float64
 	start  time.Time
-	link   *nrt.SharedLink
+	net    *nrt.Network
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -191,6 +198,9 @@ func New(cfg Config) (*Fleet, error) {
 	if lp := len(cfg.Link.PerWorker); lp != 0 && lp != len(cfg.Speeds) {
 		return nil, fmt.Errorf("service: %d per-worker link rates for %d workers", lp, len(cfg.Speeds))
 	}
+	if cfg.Topology != nil && cfg.Link.Enabled() {
+		return nil, fmt.Errorf("service: Config.Topology and Config.Link are mutually exclusive (Link is the star shorthand)")
+	}
 	d := cfg.withDefaults()
 	if _, err := d.Policy.order(); err != nil {
 		return nil, err
@@ -207,7 +217,16 @@ func New(cfg Config) (*Fleet, error) {
 		accounts: map[string]*tenantLedger{},
 		wake:     make([]chan struct{}, len(d.Speeds)),
 	}
-	f.link = nrt.NewSharedLink(d.Link, len(d.Speeds), f.now)
+	topo := d.Topology
+	if topo == nil {
+		topo = nrt.StarFromLink(d.Link, len(d.Speeds))
+	}
+	net, err := nrt.NewNetwork(topo, len(d.Speeds), f.now)
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	f.net = net
 	for w := range f.speeds {
 		f.wake[w] = make(chan struct{}, 1)
 		f.wg.Add(1)
@@ -407,5 +426,31 @@ func (f *Fleet) ledgerLocked(tenant string) *tenantLedger {
 }
 
 // LinkCapacity reports the shared master port's aggregate bandwidth
-// (0 when unconstrained) — threaded into each job's trace expectations.
-func (f *Fleet) LinkCapacity() float64 { return f.link.Capacity() }
+// (0 when unconstrained or when the fleet's topology is not a star) —
+// threaded into each job's trace expectations.
+func (f *Fleet) LinkCapacity() float64 { return f.net.Capacity() }
+
+// Topology reports the fleet's modeled network family ("star", "chain",
+// "two-source"; "" when transfers run at memcpy speed).
+func (f *Fleet) Topology() string {
+	if t := f.net.Topology(); t != nil {
+		return t.Name()
+	}
+	return ""
+}
+
+// edgeRows returns capacity-only per-edge rows for job reports: the
+// fleet's volume/busy counters span every tenant's traffic, so a single
+// job's report carries just the shape the per-edge capacity sweep needs.
+func (f *Fleet) edgeRows() []nrt.EdgeReport {
+	t := f.net.Topology()
+	if t == nil {
+		return nil
+	}
+	edges := t.Edges()
+	rows := make([]nrt.EdgeReport, len(edges))
+	for i, e := range edges {
+		rows[i] = nrt.EdgeReport{Name: e.Name, Capacity: math.Max(e.Capacity, 0)}
+	}
+	return rows
+}

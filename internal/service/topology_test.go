@@ -1,0 +1,101 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	nrt "nlfl/internal/runtime"
+)
+
+// TestFleetChainTopologyJobs runs concurrent jobs over a fleet whose
+// workers hang off a daisy-chain: every job's report must carry the
+// topology identity and capacity rows, every trace must hold hop relay
+// records, and each job's per-edge capacity oracle must stay clean even
+// while other jobs share the same hops.
+func TestFleetChainTopologyJobs(t *testing.T) {
+	cfg := testConfig()
+	cfg.Topology = nrt.UniformChain(len(cfg.Speeds), 4e5)
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var handles []*JobHandle
+	for i := 0; i < 6; i++ {
+		handles = append(handles, mustSubmit(t, f, JobSpec{Tenant: "chain", N: 64, Strategy: "het", Seed: int64(i)}))
+	}
+	sawRelay := false
+	for _, h := range handles {
+		rep := waitOK(t, h)
+		if rep.Topology != "chain" {
+			t.Fatalf("job %d topology %q, want chain", rep.ID, rep.Topology)
+		}
+		// A chain has no aggregate star port to report.
+		if rep.LinkCapacity != 0 {
+			t.Fatalf("job %d reports aggregate capacity %v on a chain", rep.ID, rep.LinkCapacity)
+		}
+		if len(rep.Edges) != len(cfg.Speeds) {
+			t.Fatalf("job %d: %d edge rows, want %d", rep.ID, len(rep.Edges), len(cfg.Speeds))
+		}
+		for _, e := range rep.Edges {
+			if e.Capacity != 4e5 {
+				t.Fatalf("job %d edge %s capacity %v", rep.ID, e.Name, e.Capacity)
+			}
+			// Per-job rows are capacity-only: the hops are shared by every
+			// job, so no single job owns a volume ledger for them.
+			if e.Volume != 0 || e.BusySeconds != 0 {
+				t.Fatalf("job %d edge %s leaks fleet-wide counters: %+v", rep.ID, e.Name, e)
+			}
+		}
+		if rep.Trace.RelayVolume() > 0 {
+			sawRelay = true
+		}
+		checkJob(t, rep)
+	}
+	if !sawRelay {
+		t.Fatal("no job recorded hop relay traffic")
+	}
+}
+
+// TestFleetTwoSourceTopologyJobs: disjoint source links feeding one
+// fleet; jobs must pass the per-edge oracle with both sources active.
+func TestFleetTwoSourceTopologyJobs(t *testing.T) {
+	cfg := testConfig()
+	cfg.Topology = nrt.SplitTwoSource(len(cfg.Speeds), 3e5, 3e5)
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var handles []*JobHandle
+	for i := 0; i < 4; i++ {
+		handles = append(handles, mustSubmit(t, f, JobSpec{Tenant: "twosrc", N: 64, Seed: int64(i)}))
+	}
+	for _, h := range handles {
+		rep := waitOK(t, h)
+		if rep.Topology != "two-source" {
+			t.Fatalf("job %d topology %q, want two-source", rep.ID, rep.Topology)
+		}
+		if len(rep.Edges) != 2 {
+			t.Fatalf("job %d: %d edge rows, want 2", rep.ID, len(rep.Edges))
+		}
+		if rep.Trace.RelayVolume() != 0 {
+			t.Fatalf("job %d recorded relays on single-hop routes", rep.ID)
+		}
+		checkJob(t, rep)
+	}
+}
+
+func TestFleetTopologyValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Topology = nrt.UniformChain(len(cfg.Speeds), 4e5)
+	cfg.Link = nrt.Link{ElemsPerSecond: 2e5}
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("Topology+Link accepted: %v", err)
+	}
+	cfg = testConfig()
+	cfg.Topology = nrt.UniformChain(2, 4e5) // fleet has 4 workers
+	if _, err := New(cfg); err == nil {
+		t.Fatal("mis-sized topology accepted")
+	}
+}

@@ -82,13 +82,16 @@ func (f *Fleet) serve(w int, j *job, c nrt.Chunk, th *nrt.Throttle, bufs *serveB
 		}
 		dropped := j.chaos != nil && j.chaos.dropTransfer(w, rel)
 		var t1 float64
-		if f.link.Enabled() {
-			t0, t1 = f.link.Book(w, data)
+		var relays []nrt.Window
+		if f.net.Constrained(w) {
+			var del nrt.Window
+			del, relays = f.net.Book(w, data)
+			t0, t1 = del.Start, del.End
 			if !dropped {
 				bufs.a = append(bufs.a[:0], j.a[c.RowLo:c.RowHi]...)
 				bufs.b = append(bufs.b[:0], j.b[c.ColLo:c.ColHi]...)
 			}
-			if !f.link.Wait(f.ctx, t1) {
+			if !f.net.Wait(f.ctx, t1) {
 				return // fleet shutdown mid-transfer
 			}
 		} else {
@@ -106,6 +109,11 @@ func (f *Fleet) serve(w int, j *job, c nrt.Chunk, th *nrt.Throttle, bufs *serveB
 		outcome := trace.OK
 		if dropped {
 			outcome = trace.Dropped
+		}
+		// Intermediate hops are recorded for dropped attempts too: the
+		// payload crossed them before the loss was noticed at delivery.
+		for _, h := range relays {
+			j.tl.AddRelay(trace.Relay{Edge: h.Edge, Dest: w, Start: h.Start, End: h.End, Data: data, Task: c.Task})
 		}
 		j.tl.Add(w, trace.Span{Kind: trace.Comm, Start: t0, End: t1, Data: data, Task: c.Task, Outcome: outcome})
 		j.dataShipped += data

@@ -45,6 +45,13 @@ const (
 	// Losing copies must be recorded Wasted, crashed ones Killed; exactly
 	// one OK span per task may exist.
 	DuplicateCommit
+	// EdgeCapacityExceeded is an instant at which one topology edge's
+	// summed transfer rate — delivery spans routed over it plus relay
+	// windows occupying it — exceeds that edge's capacity. This is the
+	// per-edge generalization of LinkCapacityExceeded: it audits every
+	// hop of a chain and every source link of a multi-source network,
+	// not just the master's aggregate port.
+	EdgeCapacityExceeded
 )
 
 // String implements fmt.Stringer.
@@ -68,6 +75,8 @@ func (k ViolationKind) String() string {
 		return "link-capacity"
 	case DuplicateCommit:
 		return "duplicate-commit"
+	case EdgeCapacityExceeded:
+		return "edge-capacity"
 	default:
 		return fmt.Sprintf("violation(%d)", int(k))
 	}
@@ -167,9 +176,40 @@ type Expect struct {
 	// an infinite-rate transfer and always violates.
 	LinkCapacity float64
 
+	// Edges, when non-empty, arms the per-edge invariants: for every
+	// edge, a capacity sweep-line over the traffic occupying it (delivery
+	// Comm spans routed via Routes plus relay windows) and — when
+	// HasVolume is set — a volume ledger against the executor's per-edge
+	// booking totals. Edge index is the topology edge id.
+	Edges []ExpectEdge
+	// Routes[w] lists the edge ids worker w's delivery Comm spans occupy.
+	// A circuit-switched route (star) lists every edge the transfer holds
+	// simultaneously; a store-and-forward route (chain) lists only the
+	// final delivery hop — the earlier hops appear as relay windows. A
+	// nil row means worker w's transfers are unconstrained (memcpy path)
+	// and occupy no modeled edge.
+	Routes [][]int
+
 	// Tol is the relative tolerance for every numeric comparison
 	// (default 1e-9).
 	Tol float64
+}
+
+// ExpectEdge is one topology edge the per-edge invariants audit.
+type ExpectEdge struct {
+	// Name labels the edge in violations ("hop-3", "source-1").
+	Name string
+	// Capacity is the edge bandwidth in data units per second; a
+	// non-positive capacity disables the sweep for this edge (uncapped).
+	Capacity float64
+	// Volume is the executor-reported data booked onto this edge
+	// (drops included); checked only when HasVolume is set.
+	Volume float64
+	// HasVolume enables the per-edge volume ledger. Leave it unset when
+	// the expectation covers a traffic subset (one job of a shared
+	// fleet): a capacity sweep over a subset is sound — the full traffic
+	// can only be worse — but a volume ledger is not.
+	HasVolume bool
 }
 
 // tolerance returns the effective relative tolerance.
@@ -203,9 +243,14 @@ const overlapSlack = 1e-9
 //     overlap a Compute span — that is multi-round pipelining, not a bug;
 //   - monotone sim-time: per worker and kind, spans are recorded in
 //     non-decreasing start order;
+//   - relays: finite non-negative bounds and volumes, a non-negative edge
+//     id, no relay past the makespan (no per-kind monotonicity — hops are
+//     booked concurrently);
 //   - with exp: work conservation (processed + unprocessed = total, traced
 //     spans matching the reported ledger), the shipping ledger, the
-//     analytic volume bound, and the imbalance target.
+//     analytic volume bound, the imbalance target, and — when Edges is
+//     set — the per-edge capacity sweep and volume ledger over routed
+//     delivery spans plus relay windows.
 func Check(tl *Timeline, exp *Expect) []Violation {
 	var vs []Violation
 	tol := exp.tolerance()
@@ -245,6 +290,17 @@ func Check(tl *Timeline, exp *Expect) []Violation {
 		if math.IsNaN(m.Time) || math.IsInf(m.Time, 0) || m.Time < 0 {
 			vs = append(vs, Violation{Kind: NonMonotone, Worker: m.Worker, Task: -1,
 				Detail: fmt.Sprintf("marker %d (%s) at invalid time %v", i, m.Kind, m.Time)})
+		}
+	}
+	for i, r := range tl.Relays {
+		if bad := badRelay(r); bad != "" {
+			vs = append(vs, Violation{Kind: BadSpan, Worker: relayWorker(tl, r), Task: r.Task,
+				Detail: fmt.Sprintf("relay %d %s", i, bad)})
+			continue
+		}
+		if r.End > tl.Makespan+overlapSlack {
+			vs = append(vs, Violation{Kind: BadSpan, Worker: relayWorker(tl, r), Task: r.Task,
+				Detail: fmt.Sprintf("relay %d ends at %v past makespan %v", i, r.End, tl.Makespan)})
 		}
 	}
 
@@ -303,8 +359,143 @@ func Check(tl *Timeline, exp *Expect) []Violation {
 	if exp.LinkCapacity > 0 {
 		vs = append(vs, checkLinkCapacity(tl, exp.LinkCapacity, tol)...)
 	}
+	if len(exp.Edges) > 0 {
+		vs = append(vs, checkEdges(tl, exp, tol)...)
+	}
 	if exp.ExactlyOnce {
 		vs = append(vs, checkExactlyOnce(tl)...)
+	}
+	return vs
+}
+
+// relayWorker returns the relay's destination worker when it is a valid
+// row of the timeline, else -1 — violations must always address a real
+// worker or the run.
+func relayWorker(tl *Timeline, r Relay) int {
+	if r.Dest >= 0 && r.Dest < len(tl.Spans) {
+		return r.Dest
+	}
+	return -1
+}
+
+// badRelay returns a description of what is malformed about the relay,
+// or "" for a well-formed one. Relays carry no monotonicity requirement:
+// concurrent workers book hops interleaved, so recording order is not
+// time order.
+func badRelay(r Relay) string {
+	for _, f := range []struct {
+		name  string
+		value float64
+	}{{"start", r.Start}, {"end", r.End}, {"data", r.Data}} {
+		if math.IsNaN(f.value) || math.IsInf(f.value, 0) {
+			return fmt.Sprintf("has non-finite %s %v", f.name, f.value)
+		}
+	}
+	if r.Edge < 0 {
+		return fmt.Sprintf("occupies negative edge %d", r.Edge)
+	}
+	if r.Start < 0 {
+		return fmt.Sprintf("starts at negative time %v", r.Start)
+	}
+	if r.End < r.Start {
+		return fmt.Sprintf("has negative duration [%v,%v]", r.Start, r.End)
+	}
+	if r.Data < 0 {
+		return fmt.Sprintf("has negative volume (data %v)", r.Data)
+	}
+	return ""
+}
+
+// checkEdges audits every declared topology edge: a capacity sweep-line
+// over the traffic occupying it — delivery Comm spans routed onto it via
+// exp.Routes plus relay windows naming it — and, per edge with
+// HasVolume, a volume ledger against the executor's booking totals. The
+// sweep uses the same event discipline as checkLinkCapacity (ends
+// processed before starts at equal times), so back-to-back hop windows
+// booked by a correct store-and-forward executor never trip it.
+func checkEdges(tl *Timeline, exp *Expect, tol float64) []Violation {
+	var vs []Violation
+	type event struct {
+		t    float64
+		rate float64
+	}
+	ne := len(exp.Edges)
+	evs := make([][]event, ne)
+	vols := make([]float64, ne)
+
+	// addWindow books one traffic window onto edge e; kind labels it in
+	// violations ("span"/"relay"), w addresses the offending worker.
+	addWindow := func(e int, start, end, data float64, w, task int, kind string) {
+		if e < 0 || e >= ne {
+			vs = append(vs, Violation{Kind: BadSpan, Worker: w, Task: task,
+				Detail: fmt.Sprintf("%s occupies unknown edge %d (%d edges declared)", kind, e, ne)})
+			return
+		}
+		if data <= 0 {
+			return
+		}
+		vols[e] += data
+		cap := exp.Edges[e].Capacity
+		if cap <= 0 {
+			return // uncapped edge: volume accounting only
+		}
+		if end <= start {
+			vs = append(vs, Violation{Kind: EdgeCapacityExceeded, Worker: w, Task: task,
+				Detail: fmt.Sprintf("%s ships %v data units over edge %s in zero time (infinite rate, capacity %v)",
+					kind, data, exp.Edges[e].Name, cap)})
+			return
+		}
+		r := data / (end - start)
+		evs[e] = append(evs[e], event{start, r}, event{end, -r})
+	}
+
+	for w, spans := range tl.Spans {
+		var route []int
+		if w < len(exp.Routes) {
+			route = exp.Routes[w]
+		}
+		if len(route) == 0 {
+			continue // unconstrained worker: no modeled edge occupied
+		}
+		for _, s := range spans {
+			if s.Kind != Comm {
+				continue
+			}
+			for _, e := range route {
+				addWindow(e, s.Start, s.End, s.Data, w, s.Task, "comm span")
+			}
+		}
+	}
+	for _, r := range tl.Relays {
+		addWindow(r.Edge, r.Start, r.End, r.Data, relayWorker(tl, r), r.Task, "relay")
+	}
+
+	for e := 0; e < ne; e++ {
+		edge := exp.Edges[e]
+		if len(evs[e]) > 0 {
+			sort.Slice(evs[e], func(i, j int) bool {
+				if evs[e][i].t != evs[e][j].t {
+					return evs[e][i].t < evs[e][j].t
+				}
+				return evs[e][i].rate < evs[e][j].rate // ends before starts
+			})
+			run, worst, worstAt := 0.0, 0.0, 0.0
+			for _, ev := range evs[e] {
+				run += ev.rate
+				if run > worst {
+					worst, worstAt = run, ev.t
+				}
+			}
+			if worst > edge.Capacity*(1+tol) {
+				vs = append(vs, Violation{Kind: EdgeCapacityExceeded, Worker: -1, Task: -1,
+					Detail: fmt.Sprintf("edge %s transfer rate peaks at %v (t=%v), above capacity %v",
+						edge.Name, worst, worstAt, edge.Capacity)})
+			}
+		}
+		if edge.HasVolume && !approxEqual(vols[e], edge.Volume, tol) {
+			vs = append(vs, Violation{Kind: CommVolume, Worker: -1, Task: -1,
+				Detail: fmt.Sprintf("edge %s traced volume %v ≠ booked %v", edge.Name, vols[e], edge.Volume)})
+		}
 	}
 	return vs
 }

@@ -14,15 +14,16 @@ import (
 	"nlfl/internal/faults"
 	"nlfl/internal/mapreduce"
 	"nlfl/internal/platform"
+	nrt "nlfl/internal/runtime"
 	"nlfl/internal/stats"
 	"nlfl/internal/trace"
 )
 
 // decodeTimeline maps arbitrary bytes onto a timeline: byte 0 picks the
-// worker count, each following 8-byte group one span (worker, kind,
-// outcome, start, duration, data, work, task — starts and durations may
-// decode negative to exercise the malformed-span paths), and the tail
-// bytes become markers.
+// worker count, each following 8-byte group one span or relay record
+// (byte 1 selects: 0 compute span, 1 comm span, 2 relay — starts and
+// durations may decode negative to exercise the malformed paths), and
+// the tail bytes become markers.
 func decodeTimeline(data []byte) *trace.Timeline {
 	if len(data) == 0 {
 		return trace.New(0)
@@ -32,6 +33,18 @@ func decodeTimeline(data []byte) *trace.Timeline {
 	i := 1
 	for ; i+8 <= len(data); i += 8 {
 		b := data[i : i+8]
+		if int(b[1])%3 == 2 {
+			r := trace.Relay{
+				Edge:  int(b[0]) % 8,
+				Dest:  int(b[7]) % p,
+				Start: float64(int(b[3])-32) / 8,
+				Data:  float64(b[5]) / 4,
+				Task:  int(b[6]) - 1,
+			}
+			r.End = r.Start + float64(int(b[4])-16)/16
+			tl.AddRelay(r)
+			continue
+		}
 		s := trace.Span{
 			Kind:    trace.SpanKind(int(b[1]) % 2),
 			Outcome: trace.Outcome(int(b[2]) % 4),
@@ -85,6 +98,18 @@ func encodeTimeline(tl *trace.Timeline) []byte {
 			)
 		}
 	}
+	for _, r := range tl.Relays {
+		out = append(out,
+			clamp(float64(r.Edge)),
+			2, // relay selector
+			0,
+			clamp(r.Start*8+32),
+			clamp((r.End-r.Start)*16+16),
+			clamp(r.Data*4),
+			clamp(float64(r.Task+1)),
+			clamp(float64(r.Dest)),
+		)
+	}
 	for _, m := range tl.Marks {
 		out = append(out, clamp(m.Time*8+16))
 	}
@@ -117,8 +142,31 @@ func FuzzTimelineCheck(f *testing.F) {
 			f.Add(encodeTimeline(res.Trace))
 		}
 	}
+	// Topology-shaped seeds: a daisy-chain run (relay records on interior
+	// hops) and a two-source run (disjoint delivery edges).
+	if mp, err := platform.FromSpeeds([]float64{1, 2, 3}); err == nil {
+		a := make([]float64, 12)
+		b := make([]float64, 12)
+		for i := range a {
+			a[i], b[i] = float64(i+1), float64(12-i)
+		}
+		if plan, err := nrt.PlanHet(mp, 12); err == nil {
+			for _, topo := range []nrt.Topology{
+				nrt.UniformChain(3, 5e4),
+				nrt.SplitTwoSource(3, 5e4, 5e4),
+			} {
+				if rep, err := nrt.Run(plan, a, b, nrt.Options{
+					Speeds: mp.Speeds(), WorkPerSecond: 2e5, Topology: topo,
+				}); err == nil {
+					f.Add(encodeTimeline(rep.Trace))
+				}
+			}
+		}
+	}
 	f.Add([]byte{})
 	f.Add([]byte{3, 0, 1, 0, 200, 5, 8, 8, 2})
+	// One handcrafted relay group: edge 1, [0, 0.5), 2 data units, dest 2.
+	f.Add([]byte{3, 1, 2, 0, 32, 24, 8, 3, 2})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tl := decodeTimeline(data)
@@ -170,5 +218,20 @@ func FuzzTimelineCheck(f *testing.F) {
 			Bound: m.CommVolume, BoundKind: trace.BoundUpper,
 			ImbalanceTarget: 0.01,
 		})
+		// And with the per-edge invariant armed: fewer declared edges than
+		// the decoder can address, so the unknown-edge path is reachable.
+		vsE := trace.Check(tl, &trace.Expect{
+			Edges: []trace.ExpectEdge{
+				{Name: "e0", Capacity: 4},
+				{Name: "e1"}, // uncapped: volume-only bookkeeping
+				{Name: "e2", Capacity: 8, Volume: m.CommVolume, HasVolume: true},
+			},
+			Routes: [][]int{{0}, {0, 2}, {1}},
+		})
+		for _, v := range vsE {
+			if v.Worker < -1 || v.Worker >= p {
+				t.Fatalf("edge violation addresses worker %d of %d: %v", v.Worker, p, v)
+			}
+		}
 	})
 }

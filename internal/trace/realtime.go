@@ -34,6 +34,14 @@ func (l *Live) Add(w int, s Span) {
 	l.tl.Add(w, s)
 }
 
+// AddRelay records an intermediate-hop transfer window. Safe for
+// concurrent use.
+func (l *Live) AddRelay(r Relay) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tl.AddRelay(r)
+}
+
 // Mark records a point event. Safe for concurrent use.
 func (l *Live) Mark(m Marker) {
 	l.mu.Lock()

@@ -1,0 +1,218 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"nlfl/internal/trace"
+)
+
+// edgeExpect builds a minimal oracle that arms only the per-edge
+// invariant: capacities plus (optionally) the booked per-edge volume
+// ledger, with worker w's delivery spans swept over routes[w].
+func edgeExpect(edges []trace.ExpectEdge, routes [][]int) *trace.Expect {
+	return &trace.Expect{Edges: edges, Routes: routes, Tol: 1e-9}
+}
+
+func kinds(vs []trace.Violation) map[trace.ViolationKind]int {
+	m := map[trace.ViolationKind]int{}
+	for _, v := range vs {
+		m[v.Kind]++
+	}
+	return m
+}
+
+// chainTimeline builds a well-formed 2-worker chain trace: worker 0 is
+// fed over hop-0 alone; worker 1's payload crosses hop-0 (a relay
+// through worker 0's position) and is delivered over hop-1. With
+// hopShift = 0 the relay serializes after worker 0's transfer and the
+// trace is clean; a negative hopShift slides the relay back so it
+// double-books hop-0.
+func chainTimeline(hopShift float64) *trace.Timeline {
+	tl := trace.New(2)
+	// hop-0 delivery to worker 0: 100 elems in [0,1] at rate 100.
+	tl.Add(0, trace.Span{Kind: trace.Comm, Start: 0, End: 1, Data: 100, Task: 0})
+	// worker 1's payload: relay across hop-0, then delivery over hop-1.
+	tl.AddRelay(trace.Relay{Edge: 0, Dest: 1, Start: 1 + hopShift, End: 2 + hopShift, Data: 100, Task: 1})
+	tl.Add(1, trace.Span{Kind: trace.Comm, Start: 2 + hopShift, End: 3 + hopShift, Data: 100, Task: 1})
+	// Token compute so the timeline looks lived-in.
+	tl.Add(0, trace.Span{Kind: trace.Compute, Start: 1, End: 2, Work: 10, Task: 0})
+	tl.Add(1, trace.Span{Kind: trace.Compute, Start: 3 + hopShift, End: 4 + hopShift, Work: 10, Task: 1})
+	return tl
+}
+
+func chainEdges() []trace.ExpectEdge {
+	return []trace.ExpectEdge{
+		{Name: "hop-0", Capacity: 100, Volume: 200, HasVolume: true},
+		{Name: "hop-1", Capacity: 100, Volume: 100, HasVolume: true},
+	}
+}
+
+// chainRoutes: deliveries sweep only the final hop; the relay record
+// carries the hop-0 crossing for worker 1.
+func chainRoutes() [][]int { return [][]int{{0}, {1}} }
+
+// TestChainOracleCleanBaseline is the positive control: the well-formed
+// chain timeline passes the armed per-edge oracle with zero violations.
+func TestChainOracleCleanBaseline(t *testing.T) {
+	vs := trace.Check(chainTimeline(0), edgeExpect(chainEdges(), chainRoutes()))
+	if len(vs) != 0 {
+		t.Fatalf("clean chain timeline flagged: %v", vs)
+	}
+}
+
+// TestBrokenChainExecutorDoubleBooksHop models the bug the oracle
+// exists to catch: a chain executor that forwards worker 1's payload
+// across hop-0 while hop-0 is still busy delivering to worker 0. The
+// two transfers overlap, the summed rate doubles the hop capacity, and
+// the sweep must flag it.
+func TestBrokenChainExecutorDoubleBooksHop(t *testing.T) {
+	tl := chainTimeline(-0.5) // relay [0.5,1.5] overlaps delivery [0,1] on hop-0
+	vs := trace.Check(tl, edgeExpect(chainEdges(), chainRoutes()))
+	got := kinds(vs)
+	if got[trace.EdgeCapacityExceeded] == 0 {
+		t.Fatalf("double-booked hop not flagged; violations: %v", vs)
+	}
+	found := false
+	for _, v := range vs {
+		if v.Kind == trace.EdgeCapacityExceeded && strings.Contains(v.Detail, "hop-0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violation does not name the oversubscribed hop: %v", vs)
+	}
+}
+
+// TestBrokenTwoSourceExecutorOverdrivesSource models a two-source
+// executor that routes both of source 0's workers concurrently: each
+// transfer alone fits the link, but together they push the edge to twice
+// its capacity. The aggregate-capacity oracle of the star era
+// (Expect.LinkCapacity) is structurally blind to this — there is no
+// meaningful aggregate for disjoint links, so LinkCapacity is 0 and the
+// old check armed nothing. Only the per-edge sweep catches it.
+func TestBrokenTwoSourceExecutorOverdrivesSource(t *testing.T) {
+	tl := trace.New(3)
+	// Workers 0 and 1 share source-0 (cap 100) but ship concurrently.
+	tl.Add(0, trace.Span{Kind: trace.Comm, Start: 0, End: 1, Data: 100, Task: 0})
+	tl.Add(1, trace.Span{Kind: trace.Comm, Start: 0.25, End: 1.25, Data: 100, Task: 1})
+	// Worker 2 is fed from source-1, legitimately.
+	tl.Add(2, trace.Span{Kind: trace.Comm, Start: 0, End: 1, Data: 100, Task: 2})
+	edges := []trace.ExpectEdge{
+		{Name: "source-0", Capacity: 100, Volume: 200, HasVolume: true},
+		{Name: "source-1", Capacity: 100, Volume: 100, HasVolume: true},
+	}
+	routes := [][]int{{0}, {0}, {1}}
+
+	// The pre-topology oracle: per-edge structure unknown, LinkCapacity 0
+	// (no aggregate exists) — the overdrive sails through.
+	legacy := &trace.Expect{LinkCapacity: 0, Tol: 1e-9}
+	for _, v := range trace.Check(tl, legacy) {
+		if v.Kind == trace.LinkCapacityExceeded || v.Kind == trace.EdgeCapacityExceeded {
+			t.Fatalf("aggregate-only oracle unexpectedly caught the overdrive: %v", v)
+		}
+	}
+
+	vs := trace.Check(tl, edgeExpect(edges, routes))
+	got := kinds(vs)
+	if got[trace.EdgeCapacityExceeded] == 0 {
+		t.Fatalf("overdriven source link not flagged; violations: %v", vs)
+	}
+	for _, v := range vs {
+		if v.Kind == trace.EdgeCapacityExceeded && !strings.Contains(v.Detail, "source-0") {
+			t.Fatalf("violation blames the wrong edge: %v", v)
+		}
+	}
+}
+
+// TestEdgeVolumeLedgerCatchesLostRelay: an executor that books a hop
+// but never records the forwarding (or forwards without booking) leaks
+// the per-edge ledger, even when no capacity peak results.
+func TestEdgeVolumeLedgerCatchesLostRelay(t *testing.T) {
+	tl := chainTimeline(0)
+	tl.Relays = nil // drop the hop-0 forwarding record
+	vs := trace.Check(tl, edgeExpect(chainEdges(), chainRoutes()))
+	found := false
+	for _, v := range vs {
+		if v.Kind == trace.CommVolume && strings.Contains(v.Detail, "hop-0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lost relay not flagged by the edge volume ledger: %v", vs)
+	}
+}
+
+// TestRelayStructuralChecks: malformed relay records are rejected even
+// when no per-edge expectations are armed at all.
+func TestRelayStructuralChecks(t *testing.T) {
+	cases := []struct {
+		name string
+		r    trace.Relay
+		want string
+	}{
+		{"negative edge", trace.Relay{Edge: -1, Dest: 0, Start: 0, End: 1, Data: 10}, "edge"},
+		{"negative duration", trace.Relay{Edge: 0, Dest: 0, Start: 2, End: 1, Data: 10}, "negative duration"},
+		{"negative data", trace.Relay{Edge: 0, Dest: 0, Start: 0, End: 1, Data: -10}, "data"},
+	}
+	for _, tc := range cases {
+		tl := trace.New(1)
+		tl.Add(0, trace.Span{Kind: trace.Comm, Start: 0, End: 5, Data: 10})
+		tl.Relays = append(tl.Relays, tc.r) // bypass AddRelay's makespan update on purpose
+		vs := trace.Check(tl, &trace.Expect{Tol: 1e-9})
+		found := false
+		for _, v := range vs {
+			if v.Kind == trace.BadSpan && strings.Contains(strings.ToLower(v.Detail), tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: not flagged; violations: %v", tc.name, vs)
+		}
+	}
+}
+
+// TestRelayBeyondMakespanFlagged: a relay window past the recorded
+// makespan means the timeline's bookkeeping is inconsistent.
+func TestRelayBeyondMakespanFlagged(t *testing.T) {
+	tl := trace.New(1)
+	tl.Add(0, trace.Span{Kind: trace.Comm, Start: 0, End: 1, Data: 10})
+	tl.Relays = append(tl.Relays, trace.Relay{Edge: 0, Dest: 0, Start: 1, End: 2, Data: 10})
+	// Makespan stays 1 because the relay skipped AddRelay.
+	vs := trace.Check(tl, &trace.Expect{Tol: 1e-9})
+	if len(vs) == 0 {
+		t.Fatal("relay past makespan not flagged")
+	}
+}
+
+// TestZeroDurationTransferOnCappedEdge: shipping data in zero time over
+// a capacity-limited edge is an infinite-rate violation, not a skipped
+// event.
+func TestZeroDurationTransferOnCappedEdge(t *testing.T) {
+	tl := trace.New(1)
+	tl.Add(0, trace.Span{Kind: trace.Comm, Start: 1, End: 1, Data: 50, Task: 0})
+	edges := []trace.ExpectEdge{{Name: "link-0", Capacity: 100}}
+	vs := trace.Check(tl, edgeExpect(edges, [][]int{{0}}))
+	if kinds(vs)[trace.EdgeCapacityExceeded] == 0 {
+		t.Fatalf("zero-duration transfer on a capped edge not flagged: %v", vs)
+	}
+}
+
+// TestUnknownEdgeFlagged: a route or relay pointing at an edge index the
+// expectation does not describe is a structural error.
+func TestUnknownEdgeFlagged(t *testing.T) {
+	tl := trace.New(1)
+	tl.Add(0, trace.Span{Kind: trace.Comm, Start: 0, End: 1, Data: 10, Task: 0})
+	tl.AddRelay(trace.Relay{Edge: 5, Dest: 0, Start: 0, End: 1, Data: 10})
+	edges := []trace.ExpectEdge{{Name: "hop-0", Capacity: 100}}
+	vs := trace.Check(tl, edgeExpect(edges, [][]int{{0}}))
+	found := false
+	for _, v := range vs {
+		if v.Kind == trace.BadSpan && strings.Contains(v.Detail, "unknown edge") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unknown edge index not flagged: %v", vs)
+	}
+}

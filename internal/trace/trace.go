@@ -136,11 +136,37 @@ type Marker struct {
 	Note string
 }
 
+// Relay is one intermediate-hop transfer window: a chunk's payload
+// crossing edge Edge on its way to worker Dest, booked by a
+// store-and-forward topology (a linear chain forwards every deep
+// delivery through the near hops). Relays occupy network edges, not
+// workers — the destination's own Comm span records only the final
+// delivery hop — so they live outside the per-worker span rows and are
+// audited by the per-edge capacity sweep (Expect.Edges) instead of the
+// per-worker overlap rules.
+type Relay struct {
+	// Edge is the topology edge id the window occupies.
+	Edge int
+	// Dest is the worker the payload was ultimately bound for.
+	Dest       int
+	Start, End float64
+	// Data is the transfer volume in data units.
+	Data float64
+	// Task identifies the chunk/task (-1 when not applicable).
+	Task int
+}
+
+// Duration returns End - Start.
+func (r Relay) Duration() float64 { return r.End - r.Start }
+
 // Timeline is the full structured record of one simulation run.
 type Timeline struct {
 	// Spans[w] lists worker w's spans in recording order (per kind this is
 	// also time order for any well-formed executor — Check enforces it).
 	Spans [][]Span
+	// Relays lists intermediate-hop transfer windows in recording order
+	// (empty for single-hop topologies like the star).
+	Relays []Relay
 	// Marks lists the run's point events in emission order.
 	Marks []Marker
 	// Makespan tracks the latest span end seen by Add.
@@ -170,15 +196,28 @@ func (tl *Timeline) Add(w int, s Span) {
 // Mark records a point event.
 func (tl *Timeline) Mark(m Marker) { tl.Marks = append(tl.Marks, m) }
 
-// Shift translates every span and marker by dt — used to place a star
-// sub-simulation after master-side preprocessing phases (sample sort's
-// Steps 1–2).
+// AddRelay records an intermediate-hop transfer window and updates the
+// makespan (a relay is network occupancy like any span).
+func (tl *Timeline) AddRelay(r Relay) {
+	tl.Relays = append(tl.Relays, r)
+	if r.End > tl.Makespan {
+		tl.Makespan = r.End
+	}
+}
+
+// Shift translates every span, relay and marker by dt — used to place a
+// star sub-simulation after master-side preprocessing phases (sample
+// sort's Steps 1–2).
 func (tl *Timeline) Shift(dt float64) {
 	for w := range tl.Spans {
 		for i := range tl.Spans[w] {
 			tl.Spans[w][i].Start += dt
 			tl.Spans[w][i].End += dt
 		}
+	}
+	for i := range tl.Relays {
+		tl.Relays[i].Start += dt
+		tl.Relays[i].End += dt
 	}
 	for i := range tl.Marks {
 		tl.Marks[i].Time += dt
@@ -197,6 +236,17 @@ func (tl *Timeline) CommVolume() float64 {
 				v += s.Data
 			}
 		}
+	}
+	return v
+}
+
+// RelayVolume returns the total data units that crossed intermediate
+// hops — traffic the per-worker Comm spans (delivery hops) do not see.
+// It is zero for single-hop topologies.
+func (tl *Timeline) RelayVolume() float64 {
+	v := 0.0
+	for _, r := range tl.Relays {
+		v += r.Data
 	}
 	return v
 }
