@@ -22,12 +22,12 @@ func benchContext() (context.Context, context.CancelFunc) {
 // bandwidth-modeled link sweep, the chaos sweep (one injected fault
 // scenario per class, survived with a clean exactly-once ledger), and
 // the multi-tenant fleet-service sweep (Poisson arrivals per policy and
-// load, with a chaos-isolation entry) — every measured volume
+// load, with a chaos-isolation entry), the network-topology sweep, and
+// the capacity-model validation sweep — every measured volume
 // cross-checked against the paper's closed forms and every trace audited
-// by the invariant oracle — emitting BENCH_kernels.json,
-// BENCH_runtime.json, BENCH_link.json, BENCH_chaos.json and
-// BENCH_service.json (see docs/PERFORMANCE.md). Ctrl-C stops the run at
-// the next sweep boundary without writing partial artifacts.
+// by the invariant oracle — emitting the seven BENCH_*.json artifacts
+// (see docs/PERFORMANCE.md). Ctrl-C stops the run at the next sweep
+// boundary without writing partial artifacts.
 func runBench(args []string) error {
 	fs := newFlagSet("bench")
 	seed := fs.Int64("seed", 42, "random seed (identical seeds reproduce identical geometry and volumes)")
@@ -37,23 +37,24 @@ func runBench(args []string) error {
 	chaosOnly := fs.Bool("chaos", false, "run (or with -validate, check) only the chaos sweep")
 	serviceOnly := fs.Bool("service", false, "run (or with -validate, check) only the fleet-service sweep")
 	topologyOnly := fs.Bool("topology", false, "run (or with -validate, check) only the network-topology sweep")
+	capacityOnly := fs.Bool("capacity", false, "run (or with -validate, check) only the capacity-model validation sweep")
 	validate := fs.Bool("validate", false, "validate existing BENCH_*.json in -out instead of running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	only := 0
-	for _, f := range []bool{*chaosOnly, *serviceOnly, *topologyOnly} {
+	for _, f := range []bool{*chaosOnly, *serviceOnly, *topologyOnly, *capacityOnly} {
 		if f {
 			only++
 		}
 	}
 	if only > 1 {
-		return fmt.Errorf("bench: -chaos, -service and -topology are mutually exclusive")
+		return fmt.Errorf("bench: -chaos, -service, -topology and -capacity are mutually exclusive")
 	}
-	_, _, _, chaosPath, servicePath, topologyPath := bench.Paths(*out)
+	paths := bench.Paths(*out)
 	if *validate {
 		if *chaosOnly {
-			cf, err := results.LoadBenchChaos(chaosPath)
+			cf, err := results.LoadBenchChaos(paths.Chaos)
 			if err != nil {
 				return err
 			}
@@ -64,7 +65,7 @@ func runBench(args []string) error {
 			return nil
 		}
 		if *serviceOnly {
-			sf, err := results.LoadBenchService(servicePath)
+			sf, err := results.LoadBenchService(paths.Service)
 			if err != nil {
 				return err
 			}
@@ -75,7 +76,7 @@ func runBench(args []string) error {
 			return nil
 		}
 		if *topologyOnly {
-			tf, err := results.LoadBenchTopology(topologyPath)
+			tf, err := results.LoadBenchTopology(paths.Topology)
 			if err != nil {
 				return err
 			}
@@ -85,10 +86,21 @@ func runBench(args []string) error {
 			fmt.Println("BENCH_topology.json: schema ok, crossover shift holds (star yes, chain no), edge ledgers exact, zero violations")
 			return nil
 		}
+		if *capacityOnly {
+			capf, err := results.LoadBenchCapacity(paths.Capacity)
+			if err != nil {
+				return err
+			}
+			if err := bench.ValidateCapacity(capf); err != nil {
+				return err
+			}
+			fmt.Println("BENCH_capacity.json: schema ok, predictions within tolerance on both runtimes, knee interior")
+			return nil
+		}
 		if err := bench.ValidateFiles(*out); err != nil {
 			return err
 		}
-		fmt.Println("BENCH_kernels.json, BENCH_runtime.json, BENCH_link.json, BENCH_chaos.json, BENCH_service.json, BENCH_topology.json: schema ok, volumes within tolerance, zero violations")
+		fmt.Println("BENCH_kernels.json, BENCH_runtime.json, BENCH_link.json, BENCH_chaos.json, BENCH_service.json, BENCH_topology.json, BENCH_capacity.json: schema ok, volumes within tolerance, zero violations")
 		return nil
 	}
 
@@ -103,11 +115,11 @@ func runBench(args []string) error {
 		if err := bench.ValidateChaos(cf); err != nil {
 			return err
 		}
-		if err := results.SaveBenchChaos(chaosPath, cf); err != nil {
+		if err := results.SaveBenchChaos(paths.Chaos, cf); err != nil {
 			return err
 		}
 		printChaos(cf)
-		fmt.Printf("\nwrote %s (every scenario survived, ledger exact, zero trace violations)\n", chaosPath)
+		fmt.Printf("\nwrote %s (every scenario survived, ledger exact, zero trace violations)\n", paths.Chaos)
 		return nil
 	}
 	if *serviceOnly {
@@ -118,11 +130,11 @@ func runBench(args []string) error {
 		if err := bench.ValidateService(sf); err != nil {
 			return err
 		}
-		if err := results.SaveBenchService(servicePath, sf); err != nil {
+		if err := results.SaveBenchService(paths.Service, sf); err != nil {
 			return err
 		}
 		printService(sf)
-		fmt.Printf("\nwrote %s (policy gate holds, chaos isolation exact, zero trace violations)\n", servicePath)
+		fmt.Printf("\nwrote %s (policy gate holds, chaos isolation exact, zero trace violations)\n", paths.Service)
 		return nil
 	}
 	if *topologyOnly {
@@ -133,20 +145,34 @@ func runBench(args []string) error {
 		if err := bench.ValidateTopology(tf); err != nil {
 			return err
 		}
-		if err := results.SaveBenchTopology(topologyPath, tf); err != nil {
+		if err := results.SaveBenchTopology(paths.Topology, tf); err != nil {
 			return err
 		}
 		printTopology(tf)
-		fmt.Printf("\nwrote %s (crossover shift holds, edge ledgers exact, zero trace violations)\n", topologyPath)
+		fmt.Printf("\nwrote %s (crossover shift holds, edge ledgers exact, zero trace violations)\n", paths.Topology)
+		return nil
+	}
+	if *capacityOnly {
+		capf, err := bench.RunCapacitySweep(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		if err := bench.ValidateCapacity(capf); err != nil {
+			return err
+		}
+		if err := results.SaveBenchCapacity(paths.Capacity, capf); err != nil {
+			return err
+		}
+		printCapacity(capf)
+		fmt.Printf("\nwrote %s (predictions within tolerance on both runtimes, knee interior)\n", paths.Capacity)
 		return nil
 	}
 
-	kernelsPath, runtimePath, linkPath, chaosPath, servicePath, topologyPath, err := bench.Run(ctx, cfg, *out)
-	if err != nil {
+	if _, err := bench.Run(ctx, cfg, *out); err != nil {
 		return err
 	}
 
-	kf, err := results.LoadBenchKernels(kernelsPath)
+	kf, err := results.LoadBenchKernels(paths.Kernels)
 	if err != nil {
 		return err
 	}
@@ -156,7 +182,7 @@ func runBench(args []string) error {
 		fmt.Printf("  %-16s %6d %5d %4d %12.6f %10.3f\n", e.Kernel, e.N, e.Tile, e.Workers, e.Seconds, e.GFLOPS)
 	}
 
-	rf, err := results.LoadBenchRuntime(runtimePath)
+	rf, err := results.LoadBenchRuntime(paths.Runtime)
 	if err != nil {
 		return err
 	}
@@ -167,7 +193,7 @@ func runBench(args []string) error {
 		fmt.Printf("  %-12s %-6s %6d %5d %7d %12.1f %12.1f %8.5f %10.4g\n",
 			e.Platform, e.Strategy, e.N, e.Grid, e.Chunks, e.MeasuredVolume, e.PredictedVolume, e.RelError, e.CellsPerSec)
 	}
-	lf, err := results.LoadBenchLink(linkPath)
+	lf, err := results.LoadBenchLink(paths.Link)
 	if err != nil {
 		return err
 	}
@@ -178,26 +204,32 @@ func runBench(args []string) error {
 		fmt.Printf("  %-12s %-6s %10.3g %10.1f %10.4f %10.4f %8.3f\n",
 			e.Platform, e.Strategy, e.Bandwidth, e.MeasuredVolume, e.Makespan, e.CommTime, e.OverlapFraction)
 	}
-	cf, err := results.LoadBenchChaos(chaosPath)
+	cf, err := results.LoadBenchChaos(paths.Chaos)
 	if err != nil {
 		return err
 	}
 	fmt.Println()
 	printChaos(cf)
-	sf, err := results.LoadBenchService(servicePath)
+	sf, err := results.LoadBenchService(paths.Service)
 	if err != nil {
 		return err
 	}
 	fmt.Println()
 	printService(sf)
-	tf, err := results.LoadBenchTopology(topologyPath)
+	tf, err := results.LoadBenchTopology(paths.Topology)
 	if err != nil {
 		return err
 	}
 	fmt.Println()
 	printTopology(tf)
-	fmt.Printf("\nwrote %s, %s, %s, %s, %s and %s (all volumes within tolerance, zero trace violations)\n",
-		kernelsPath, runtimePath, linkPath, chaosPath, servicePath, topologyPath)
+	capf, err := results.LoadBenchCapacity(paths.Capacity)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	printCapacity(capf)
+	fmt.Printf("\nwrote %s, %s, %s, %s, %s, %s and %s (all volumes within tolerance, zero trace violations)\n",
+		paths.Kernels, paths.Runtime, paths.Link, paths.Chaos, paths.Service, paths.Topology, paths.Capacity)
 	return nil
 }
 
@@ -235,6 +267,23 @@ func printTopology(tf results.TopologyBenchFile) {
 			}
 		}
 	}
+}
+
+// printCapacity renders the capacity sweep: per slice size, the model's
+// forecast next to both observed makespans, then the knee line an
+// operator would read off `nlfl recommend`.
+func printCapacity(capf results.CapacityBenchFile) {
+	fmt.Printf("capacity sweep (alpha %.3g, n=%d, rate %.3g cells/s per unit speed, bw %.3g):\n",
+		capf.Alpha, capf.N, capf.WorkPerSecond, capf.Bandwidth)
+	fmt.Printf("  %-4s %10s %12s %12s %12s %8s %8s %10s\n",
+		"p", "volume", "predicted", "simulated", "measured", "speedup", "gain", "chunk-loss")
+	for _, e := range capf.Entries {
+		fmt.Printf("  %-4d %10.1f %12.6f %12.6f %12.6f %8.3f %8.4f %10.3f\n",
+			e.Workers, e.PredictedVolume, e.PredictedMakespan, e.SimMakespan, e.MeasuredMakespan,
+			e.Speedup, e.MarginalGain, e.UnprocessedIfChunked)
+	}
+	fmt.Printf("  knee %d of %d workers at theta %.2f (best %d, closed-form speedup bound %.3f)\n",
+		capf.Knee, len(capf.Speeds), capf.Theta, capf.Best, capf.SpeedupBound)
 }
 
 // printService renders the fleet-service sweep: per (policy, load), the

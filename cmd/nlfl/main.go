@@ -19,6 +19,7 @@
 //	faults     Section 1.1: robustness under crashes, stragglers, flaky links
 //	trace      Trace one executor run, audit invariants, render Gantt/Chrome JSON
 //	bench      Measured performance: kernels + runtime, emits BENCH_*.json
+//	recommend  Capacity planner: speedup curve, knee, recommended slice size
 //	serve      Multi-tenant fleet service behind an HTTP API
 //	analyze    The core divisibility verdict for a workload
 //	demo       Run every experiment with small settings (smoke test)
@@ -59,6 +60,7 @@ func commands() []command {
 		{"faults", "robustness under crashes, stragglers and flaky links", runFaults},
 		{"trace", "run one executor, audit its trace, render Gantt/Chrome JSON", runTrace},
 		{"bench", "measure kernels + worker-pool runtime, emit BENCH_*.json", runBench},
+		{"recommend", "size a fleet slice for an α-power workload (capacity planner)", runRecommend},
 		{"serve", "run the multi-tenant fleet service behind an HTTP API", runServe},
 		{"analyze", "divisibility verdict for a workload", runAnalyze},
 		{"compare", "diff two saved JSON result records", runCompare},

@@ -91,6 +91,13 @@ func TestCLISubcommands(t *testing.T) {
 			[]string{"sort executor", "invariants: ok"}},
 		{"trace flaky gantt", []string{"trace", "-executor", "resilient", "-scenario", "flaky-link", "-p", "4", "-tasks", "24", "-seed", "4", "-w", "60"},
 			[]string{"%", "invariants: ok", "faults"}},
+		{"recommend", []string{"recommend"},
+			[]string{"← knee", "recommend 4 of 8 workers", "speedup 2.26×", "makespan 37.3 ms",
+				"no slice of this fleet can beat 4.53×", "75% of the work undone", "speedup vs slice size"}},
+		{"recommend unconstrained", []string{"recommend", "-bandwidth", "0", "-chart=false"},
+			[]string{"recommend 8 of 8 workers", "0.00"}},
+		{"recommend json", []string{"recommend", "-json"},
+			[]string{`"knee": 4`, `"speedupBound"`, `"curve"`, `"unprocessedIfChunked"`}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -254,6 +261,12 @@ func TestCLIErrors(t *testing.T) {
 		{"nope"},
 		{"bench", "-chaos", "-topology"},
 		{"bench", "-service", "-topology"},
+		{"bench", "-capacity", "-chaos"},
+		{"recommend", "-alpha", "0.5"},
+		{"recommend", "-speeds", "x"},
+		{"recommend", "-speeds", ""},
+		{"recommend", "-theta", "0"},
+		{"recommend", "-n", "0"},
 		{"fig4", "-dist", "bogus"},
 		{"nonlinear", "-alphas", "x"},
 		{"nonlinear", "-ps", "x"},

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"nlfl/internal/capacity"
+	"nlfl/internal/plot"
+)
+
+// runRecommend answers the operator's capacity question: for an α-power
+// workload on this fleet, how many workers are worth renting? It prices
+// every slice size with the capacity model (serialized one-port input
+// shipping + balanced compute), prints the speedup curve with the knee
+// marked, and recommends the slice where the marginal speedup falls
+// below -theta. See docs/CAPACITY.md for worked examples.
+func runRecommend(args []string) error {
+	fs := newFlagSet("recommend")
+	alpha := fs.Float64("alpha", 2, "workload exponent: work = n^alpha")
+	n := fs.Int("n", 96, "problem size (work = n^alpha cells)")
+	speeds := fs.String("speeds", "4,4,3,3,2,2,1,1", "comma-separated worker speeds")
+	rate := fs.Float64("rate", 3e4, "cells/second computed by a speed-1 worker")
+	bandwidth := fs.Float64("bandwidth", 2.5e4, "master link bandwidth in elements/second (0 = unconstrained)")
+	theta := fs.Float64("theta", 0.05, "knee threshold: stop adding workers below this marginal speedup")
+	asJSON := fs.Bool("json", false, "emit the recommendation as JSON instead of the report")
+	chart := fs.Bool("chart", true, "render the ASCII speedup-vs-workers chart")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sp, err := parseFloats(*speeds)
+	if err != nil {
+		return fmt.Errorf("recommend: -speeds: %w", err)
+	}
+	m := capacity.Model{
+		Alpha:         *alpha,
+		N:             *n,
+		Speeds:        sp,
+		WorkPerSecond: *rate,
+		Bandwidth:     *bandwidth,
+	}
+	rec, err := m.Recommend(*theta)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rec)
+	}
+
+	fmt.Printf("capacity recommendation (alpha %.3g, n=%d, rate %.3g cells/s per unit speed, bw %.3g):\n\n",
+		m.Alpha, m.N, m.WorkPerSecond, m.Bandwidth)
+	tbl := plot.NewTable("p", "volume", "comm ms", "compute ms", "makespan ms", "speedup", "marginal", "chunk-loss")
+	for i, pred := range rec.Curve {
+		marginal := "—"
+		if i > 0 {
+			marginal = fmt.Sprintf("%+.1f%%", 100*(pred.Speedup/rec.Curve[i-1].Speedup-1))
+		}
+		mark := ""
+		if pred.Workers == rec.Knee {
+			mark = "  ← knee"
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d", pred.Workers),
+			fmt.Sprintf("%.1f", pred.CommVolume),
+			fmt.Sprintf("%.2f", pred.CommTime*1e3),
+			fmt.Sprintf("%.2f", pred.ComputeTime*1e3),
+			fmt.Sprintf("%.2f", pred.Makespan*1e3),
+			fmt.Sprintf("%.3f", pred.Speedup),
+			marginal,
+			fmt.Sprintf("%.0f%%%s", 100*pred.UnprocessedIfChunked, mark),
+		)
+	}
+	fmt.Println(tbl.String())
+
+	at := rec.AtKnee()
+	fmt.Printf("recommend %d of %d workers: predicted makespan %.1f ms, speedup %.2f×\n",
+		rec.Knee, len(m.Speeds), at.Makespan*1e3, at.Speedup)
+	if rec.Best > rec.Knee {
+		fmt.Printf("the raw optimum is %d workers, but each worker past the knee adds under %.0f%% speedup\n",
+			rec.Best, 100*rec.Theta)
+	}
+	fmt.Printf("no slice of this fleet can beat %.2f× (communication/compute lower bound)\n", rec.SpeedupBound)
+	if at.UnprocessedIfChunked > 0 {
+		fmt.Printf("chunking the input across %d workers instead would leave %.0f%% of the work undone — no free lunch\n",
+			rec.Knee, 100*at.UnprocessedIfChunked)
+	}
+
+	if *chart && len(rec.Curve) > 1 {
+		c := &plot.Chart{
+			Title:  "predicted speedup vs slice size",
+			XLabel: "workers",
+			YLabel: "speedup",
+			Width:  60,
+			Height: 12,
+		}
+		s := c.AddSeries("speedup")
+		for _, pred := range rec.Curve {
+			s.Add(float64(pred.Workers), pred.Speedup, 0)
+		}
+		fmt.Println()
+		fmt.Print(c.Render())
+	}
+	return nil
+}

@@ -99,12 +99,24 @@ func (st *serveState) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		// Shed load loudly: admission rejection is the backpressure signal,
-		// everything else is a spec error.
+		// everything else is a spec error. Rejections carry the typed
+		// reason so clients can tell quota pressure from fleet overload
+		// from the capacity model's amdahl-cap verdict and react
+		// differently (back off, resubmit elsewhere, drop the deadline).
+		var ae *service.AdmissionError
+		if errors.As(err, &ae) {
+			writeJSON(w, http.StatusTooManyRequests, map[string]string{
+				"error":  err.Error(),
+				"reason": string(ae.Reason),
+				"detail": ae.Detail,
+			})
+			return
+		}
 		code := http.StatusBadRequest
 		if errors.Is(err, service.ErrAdmissionRejected) {
 			code = http.StatusTooManyRequests
 		}
-		http.Error(w, err.Error(), code)
+		writeJSON(w, code, map[string]string{"error": err.Error()})
 		return
 	}
 	st.mu.Lock()
@@ -164,6 +176,7 @@ func runServe(args []string) error {
 	policy := fs.String("policy", "srpt", "scheduling policy: fifo, srpt or ii")
 	queue := fs.Int("queue", 64, "max unfinished jobs fleet-wide")
 	quota := fs.Int("quota", 32, "max unfinished jobs per tenant")
+	autoscale := fs.Float64("autoscale", 0, "capacity-model autoscaler theta: cap each job's slice at the predicted speedup knee (0 = off)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful drain budget on SIGINT")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -173,12 +186,13 @@ func runServe(args []string) error {
 		return err
 	}
 	fleet, err := service.New(service.Config{
-		Speeds:        sp,
-		WorkPerSecond: *rate,
-		Link:          nrt.Link{ElemsPerSecond: *bandwidth},
-		Policy:        service.Policy(*policy),
-		MaxQueue:      *queue,
-		TenantQuota:   *quota,
+		Speeds:         sp,
+		WorkPerSecond:  *rate,
+		Link:           nrt.Link{ElemsPerSecond: *bandwidth},
+		Policy:         service.Policy(*policy),
+		MaxQueue:       *queue,
+		TenantQuota:    *quota,
+		AutoscaleTheta: *autoscale,
 	})
 	if err != nil {
 		return err

@@ -135,11 +135,17 @@ func TestServeAdmissionSheds(t *testing.T) {
 	defer ts.Close()
 
 	codes := make([]int, 0, 3)
+	var last rejectBody
 	for i := 0; i < 3; i++ {
 		resp, err := http.Post(ts.URL+"/jobs", "application/json",
 			strings.NewReader(`{"tenant":"flood","n":48}`))
 		if err != nil {
 			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if err := json.NewDecoder(resp.Body).Decode(&last); err != nil {
+				t.Fatalf("429 body is not JSON: %v", err)
+			}
 		}
 		resp.Body.Close()
 		codes = append(codes, resp.StatusCode)
@@ -149,6 +155,77 @@ func TestServeAdmissionSheds(t *testing.T) {
 	}
 	if codes[2] != http.StatusTooManyRequests {
 		t.Fatalf("third submit: got %d, want 429", codes[2])
+	}
+	// The regression this pins: a 429 must say *why* — quota pressure and
+	// fleet overload call for different client reactions.
+	if last.Reason != string(service.RejectQueueFull) {
+		t.Fatalf("429 reason %q, want %q (body %+v)", last.Reason, service.RejectQueueFull, last)
+	}
+	if last.Detail == "" || last.Error == "" {
+		t.Fatalf("429 body missing detail or error: %+v", last)
+	}
+}
+
+// rejectBody is the JSON shape of a 429 from POST /jobs.
+type rejectBody struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail"`
+}
+
+// TestServeRejectReasons drives the façade over a fleet with a
+// per-tenant quota and an autoscaler: the three 429 flavors a client
+// can hit (tenant-quota, queue-full, amdahl-cap) each carry their own
+// machine-readable reason.
+func TestServeRejectReasons(t *testing.T) {
+	fleet, err := service.New(service.Config{
+		Speeds:         []float64{1, 2, 3, 4},
+		WorkPerSecond:  3e4,
+		MaxQueue:       8,
+		TenantQuota:    1,
+		AutoscaleTheta: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	st := &serveState{fleet: fleet, jobs: map[int64]*service.JobHandle{}}
+	ts := httptest.NewServer(newServeMux(st))
+	defer ts.Close()
+
+	reject := func(body string) rejectBody {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("got %d, want 429", resp.StatusCode)
+		}
+		var rb rejectBody
+		if err := json.NewDecoder(resp.Body).Decode(&rb); err != nil {
+			t.Fatal(err)
+		}
+		return rb
+	}
+
+	// An impossible deadline is shed by the capacity model at the door.
+	if rb := reject(`{"tenant":"rush","n":96,"deadlineMs":1}`); rb.Reason != string(service.RejectAmdahlCap) {
+		t.Errorf("amdahl-cap rejection carried reason %q (body %+v)", rb.Reason, rb)
+	}
+	// Fill tenant "flood"'s quota of one, then hit the quota reason.
+	resp, err := http.Post(ts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"tenant":"flood","n":96}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first flood submit: got %d, want 202", resp.StatusCode)
+	}
+	if rb := reject(`{"tenant":"flood","n":96}`); rb.Reason != string(service.RejectTenantQuota) {
+		t.Errorf("quota rejection carried reason %q (body %+v)", rb.Reason, rb)
 	}
 }
 

@@ -22,7 +22,8 @@ import (
 )
 
 // KernelsFileName, RuntimeFileName, LinkFileName, ChaosFileName,
-// ServiceFileName and TopologyFileName are the emitted artifact names.
+// ServiceFileName, TopologyFileName and CapacityFileName are the
+// emitted artifact names.
 const (
 	KernelsFileName  = "BENCH_kernels.json"
 	RuntimeFileName  = "BENCH_runtime.json"
@@ -30,6 +31,7 @@ const (
 	ChaosFileName    = "BENCH_chaos.json"
 	ServiceFileName  = "BENCH_service.json"
 	TopologyFileName = "BENCH_topology.json"
+	CapacityFileName = "BENCH_capacity.json"
 )
 
 // Config selects the measurement envelope.
@@ -48,12 +50,31 @@ type Config struct {
 // maxProcs reports the measurement environment's parallelism.
 func maxProcs() int { return runtime.GOMAXPROCS(0) }
 
+// ArtifactPaths names every bench artifact under one output directory.
+type ArtifactPaths struct {
+	Kernels  string
+	Runtime  string
+	Link     string
+	Chaos    string
+	Service  string
+	Topology string
+	Capacity string
+}
+
+// List returns the paths in emission order, for callers that iterate.
+func (a ArtifactPaths) List() []string {
+	return []string{a.Kernels, a.Runtime, a.Link, a.Chaos, a.Service, a.Topology, a.Capacity}
+}
+
 // Paths returns the artifact paths under dir.
-func Paths(dir string) (kernels, runtimePath, link, chaos, service, topology string) {
-	return filepath.Join(dir, KernelsFileName),
-		filepath.Join(dir, RuntimeFileName),
-		filepath.Join(dir, LinkFileName),
-		filepath.Join(dir, ChaosFileName),
-		filepath.Join(dir, ServiceFileName),
-		filepath.Join(dir, TopologyFileName)
+func Paths(dir string) ArtifactPaths {
+	return ArtifactPaths{
+		Kernels:  filepath.Join(dir, KernelsFileName),
+		Runtime:  filepath.Join(dir, RuntimeFileName),
+		Link:     filepath.Join(dir, LinkFileName),
+		Chaos:    filepath.Join(dir, ChaosFileName),
+		Service:  filepath.Join(dir, ServiceFileName),
+		Topology: filepath.Join(dir, TopologyFileName),
+		Capacity: filepath.Join(dir, CapacityFileName),
+	}
 }

@@ -12,21 +12,21 @@ import (
 func TestRunQuickEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	cfg := Config{Seed: 42, Quick: true}
-	kernelsPath, runtimePath, linkPath, chaosPath, servicePath, topologyPath, err := Run(context.Background(), cfg, dir)
+	paths, err := Run(context.Background(), cfg, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := ValidateFiles(dir); err != nil {
 		t.Fatalf("emitted artifacts fail their own schema gate: %v", err)
 	}
-	kf, err := results.LoadBenchKernels(kernelsPath)
+	kf, err := results.LoadBenchKernels(paths.Kernels)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if kf.Seed != 42 || !kf.Quick {
 		t.Errorf("kernel file misstamped: seed %d quick %v", kf.Seed, kf.Quick)
 	}
-	rf, err := results.LoadBenchRuntime(runtimePath)
+	rf, err := results.LoadBenchRuntime(paths.Runtime)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestRunQuickEndToEnd(t *testing.T) {
 		}
 	}
 
-	lf, err := results.LoadBenchLink(linkPath)
+	lf, err := results.LoadBenchLink(paths.Link)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestRunQuickEndToEnd(t *testing.T) {
 		t.Errorf("constrained-bandwidth makespans het=%v hom=%v, want het < hom", het, hom)
 	}
 
-	cf, err := results.LoadBenchChaos(chaosPath)
+	cf, err := results.LoadBenchChaos(paths.Chaos)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,22 +95,35 @@ func TestRunQuickEndToEnd(t *testing.T) {
 		}
 	}
 
-	sf, err := results.LoadBenchService(servicePath)
+	sf, err := results.LoadBenchService(paths.Service)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Quick config: 3 policies × 2 loads + 1 chaos entry.
-	if len(sf.Entries) != 7 {
-		t.Fatalf("service file has %d entries, want 7", len(sf.Entries))
+	// Quick config: 3 policies × 2 loads + 1 chaos entry + 1 autoscale entry.
+	if len(sf.Entries) != 8 {
+		t.Fatalf("service file has %d entries, want 8", len(sf.Entries))
 	}
+	sawAutoscale := false
 	for _, e := range sf.Entries {
 		if e.Violations != 0 {
 			t.Errorf("service %s load=%.2f: %d invariant violations in a passing run",
 				e.Policy, e.LoadFactor, e.Violations)
 		}
+		if e.Autoscale {
+			sawAutoscale = true
+			if e.SliceOverKnee != 0 {
+				t.Errorf("autoscale entry sized %d jobs past the knee", e.SliceOverKnee)
+			}
+			if len(e.Knees) == 0 {
+				t.Error("autoscale entry recorded no knees")
+			}
+		}
+	}
+	if !sawAutoscale {
+		t.Error("no autoscale entry in the quick service sweep")
 	}
 
-	tf, err := results.LoadBenchTopology(topologyPath)
+	tf, err := results.LoadBenchTopology(paths.Topology)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,6 +144,18 @@ func TestRunQuickEndToEnd(t *testing.T) {
 	}
 	if tf.Crossovers["chain"] != 0 {
 		t.Errorf("chain crossover recorded at bw=%v", tf.Crossovers["chain"])
+	}
+
+	capf, err := results.LoadBenchCapacity(paths.Capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One entry per slice size of the 8-worker envelope, knee interior.
+	if len(capf.Entries) != len(capf.Speeds) {
+		t.Fatalf("capacity file has %d entries for %d speeds", len(capf.Entries), len(capf.Speeds))
+	}
+	if capf.Knee < 1 || capf.Knee >= len(capf.Speeds) {
+		t.Errorf("capacity knee %d not interior of [1, %d)", capf.Knee, len(capf.Speeds))
 	}
 }
 
@@ -275,6 +300,7 @@ func TestValidateRejectsBrokenFiles(t *testing.T) {
 			Jobs: 10, Admitted: 10, Completed: 10,
 			Makespan: 1, ThroughputJobsPerSec: 10,
 			LatencyP50: p99 / 2, LatencyP99: p99, LatencyMean: p99 / 2, LatencyMax: p99,
+			MaxSliceWorkers: 2, MeanSliceWorkers: 2, MeanShippedPerJob: 40,
 			Tenants: []results.ServiceTenantStat{
 				{Tenant: "tenant-a", Submitted: 10, Admitted: 10, Completed: 10, PlanVolume: 100, CommittedVolume: 100},
 			},
@@ -288,11 +314,18 @@ func TestValidateRejectsBrokenFiles(t *testing.T) {
 		return e
 	}
 	serviceEntries := func() []results.ServiceBenchEntry {
+		auto := goodService("srpt", false, 0.1)
+		auto.Autoscale = true
+		auto.AutoscaleTheta = 0.05
+		auto.Knees = map[string]int{"8": 1}
+		auto.MaxSliceWorkers, auto.MeanSliceWorkers = 1, 1
+		auto.MeanShippedPerJob = 30
 		return []results.ServiceBenchEntry{
 			goodService("fifo", false, 0.4),
 			goodService("srpt", false, 0.1),
 			goodService("ii", false, 0.2),
 			goodService("srpt", true, 0.1),
+			auto,
 		}
 	}
 	serviceBase := results.ServiceBenchFile{
@@ -321,6 +354,18 @@ func TestValidateRejectsBrokenFiles(t *testing.T) {
 		},
 		"bystander-inexact": func(f *results.ServiceBenchFile) {
 			f.Entries[3].Tenants[0].CommittedVolume = 90
+		},
+		"no-autoscale-entry": func(f *results.ServiceBenchFile) { f.Entries = f.Entries[:4] },
+		"zero-slice-stats":   func(f *results.ServiceBenchFile) { f.Entries[0].MaxSliceWorkers = 0 },
+		"slice-over-knee":    func(f *results.ServiceBenchFile) { f.Entries[4].SliceOverKnee = 2 },
+		"knee-out-of-range": func(f *results.ServiceBenchFile) {
+			f.Entries[4].Knees = map[string]int{"8": 3}
+		},
+		"slice-exceeds-knee": func(f *results.ServiceBenchFile) {
+			f.Entries[4].MaxSliceWorkers = 2
+		},
+		"autoscaler-no-dividend": func(f *results.ServiceBenchFile) {
+			f.Entries[4].MeanShippedPerJob = 40
 		},
 	} {
 		f := serviceBase
@@ -357,7 +402,10 @@ func TestSweepsHonorCancelledContext(t *testing.T) {
 	if _, err := RunTopologySweep(ctx, cfg); !errors.Is(err, context.Canceled) {
 		t.Errorf("RunTopologySweep under cancelled ctx: %v", err)
 	}
-	if _, _, _, _, _, _, err := Run(ctx, cfg, t.TempDir()); !errors.Is(err, context.Canceled) {
+	if _, err := RunCapacitySweep(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunCapacitySweep under cancelled ctx: %v", err)
+	}
+	if _, err := Run(ctx, cfg, t.TempDir()); !errors.Is(err, context.Canceled) {
 		t.Errorf("Run under cancelled ctx: %v", err)
 	}
 }
@@ -370,7 +418,7 @@ func TestSweepsHonorCancelledContext(t *testing.T) {
 func TestServiceChaosSmoke(t *testing.T) {
 	load := 0.6
 	lambda := load * serviceFleetCapacity() / serviceMeanCells()
-	entry, err := runServiceEntry(context.Background(), 42, service.PolicySRPT, load, lambda, 24, true)
+	entry, err := runServiceEntry(context.Background(), 42, service.PolicySRPT, load, lambda, 24, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -155,16 +155,16 @@ func RunRuntime(ctx context.Context, cfg Config) (results.RuntimeBenchFile, erro
 
 // Run executes the full harness — kernels, runtime strategies, the
 // bandwidth-modeled link sweep, the chaos sweep, the multi-tenant
-// service sweep, and the network-topology sweep — and writes the six
-// artifacts into dir, returning their paths. Every payload is validated
-// before writing; a file that would fail the CI schema gate is never
-// emitted. A cancelled ctx stops at the next sweep boundary with
-// nothing written.
-func Run(ctx context.Context, cfg Config, dir string) (kernelsPath, runtimePath, linkPath, chaosPath, servicePath, topologyPath string, err error) {
-	fail := func(err error) (string, string, string, string, string, string, error) {
-		return "", "", "", "", "", "", err
+// service sweep, the network-topology sweep, and the capacity-model
+// validation sweep — and writes the seven artifacts into dir,
+// returning their paths. Every payload is validated before writing; a
+// file that would fail the CI schema gate is never emitted. A
+// cancelled ctx stops at the next sweep boundary with nothing written.
+func Run(ctx context.Context, cfg Config, dir string) (ArtifactPaths, error) {
+	paths := Paths(dir)
+	fail := func(err error) (ArtifactPaths, error) {
+		return ArtifactPaths{}, err
 	}
-	kernelsPath, runtimePath, linkPath, chaosPath, servicePath, topologyPath = Paths(dir)
 	kf, err := RunKernels(ctx, cfg)
 	if err != nil {
 		return fail(err)
@@ -207,23 +207,33 @@ func Run(ctx context.Context, cfg Config, dir string) (kernelsPath, runtimePath,
 	if err := ValidateTopology(tf); err != nil {
 		return fail(err)
 	}
-	if err := results.SaveBenchKernels(kernelsPath, kf); err != nil {
+	capf, err := RunCapacitySweep(ctx, cfg)
+	if err != nil {
 		return fail(err)
 	}
-	if err := results.SaveBenchRuntime(runtimePath, rf); err != nil {
+	if err := ValidateCapacity(capf); err != nil {
 		return fail(err)
 	}
-	if err := results.SaveBenchLink(linkPath, lf); err != nil {
+	if err := results.SaveBenchKernels(paths.Kernels, kf); err != nil {
 		return fail(err)
 	}
-	if err := results.SaveBenchChaos(chaosPath, cf); err != nil {
+	if err := results.SaveBenchRuntime(paths.Runtime, rf); err != nil {
 		return fail(err)
 	}
-	if err := results.SaveBenchService(servicePath, sf); err != nil {
+	if err := results.SaveBenchLink(paths.Link, lf); err != nil {
 		return fail(err)
 	}
-	if err := results.SaveBenchTopology(topologyPath, tf); err != nil {
+	if err := results.SaveBenchChaos(paths.Chaos, cf); err != nil {
 		return fail(err)
 	}
-	return kernelsPath, runtimePath, linkPath, chaosPath, servicePath, topologyPath, nil
+	if err := results.SaveBenchService(paths.Service, sf); err != nil {
+		return fail(err)
+	}
+	if err := results.SaveBenchTopology(paths.Topology, tf); err != nil {
+		return fail(err)
+	}
+	if err := results.SaveBenchCapacity(paths.Capacity, capf); err != nil {
+		return fail(err)
+	}
+	return paths, nil
 }

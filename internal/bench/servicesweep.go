@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"math"
 	goruntime "runtime"
+	"strconv"
 	"time"
 
+	"nlfl/internal/capacity"
 	"nlfl/internal/faults"
 	"nlfl/internal/results"
 	nrt "nlfl/internal/runtime"
@@ -39,6 +41,11 @@ const (
 	// serviceChaosTenant is the tenant whose jobs carry the job-scoped
 	// crash scenario in the chaos entry.
 	serviceChaosTenant = "chaos"
+	// serviceAutoscaleTheta is the autoscale entry's knee threshold: a
+	// worker that buys under 5% marginal speedup is not worth its input
+	// shipping. It matches the capacity sweep's theta so the knees in
+	// BENCH_service.json and BENCH_capacity.json tell one story.
+	serviceAutoscaleTheta = 0.05
 )
 
 // serviceJobMix is the offered job-size distribution.
@@ -93,12 +100,14 @@ func serviceJobs(quick bool) int {
 
 // RunServiceSweep measures the multi-tenant fleet service under a seeded
 // Poisson arrival stream: every scheduling policy at every offered load,
-// plus one chaos entry where a single tenant's jobs carry a job-scoped
-// crash scenario. Every completed job's trace is audited by the
-// invariant oracle, and the chaos entry's clean tenants must show the
-// exact committed-equals-planned ledger — the isolation guarantee as a
-// measured gate, not a comment. A cancelled ctx aborts the in-flight
-// run and stops the sweep.
+// one chaos entry where a single tenant's jobs carry a job-scoped crash
+// scenario, and one autoscale entry where the capacity model caps each
+// job's slice at its predicted speedup knee. Every completed job's trace
+// is audited by the invariant oracle, the chaos entry's clean tenants
+// must show the exact committed-equals-planned ledger — the isolation
+// guarantee as a measured gate, not a comment — and the autoscale entry
+// must ship strictly less data per job than its uncapped twin. A
+// cancelled ctx aborts the in-flight run and stops the sweep.
 //
 // Wall-clock latencies vary run to run; the admission counters, volume
 // ledgers and the policy ordering gates (SRPT and interleaved
@@ -115,13 +124,13 @@ func RunServiceSweep(ctx context.Context, cfg Config) (results.ServiceBenchFile,
 		GoVersion:     goruntime.Version(),
 		GOMAXPROCS:    maxProcs(),
 	}
-	capacity := serviceFleetCapacity()
+	fleetCap := serviceFleetCapacity()
 	jobs := serviceJobs(cfg.Quick)
 	loads := serviceLoads(cfg.Quick)
 	for _, pol := range service.Policies() {
 		for _, load := range loads {
-			lambda := load * capacity / serviceMeanCells()
-			entry, err := runServiceEntry(ctx, cfg.Seed, pol, load, lambda, jobs, false)
+			lambda := load * fleetCap / serviceMeanCells()
+			entry, err := runServiceEntry(ctx, cfg.Seed, pol, load, lambda, jobs, false, 0)
 			if err != nil {
 				return file, fmt.Errorf("bench: service %s load=%.2f: %w", pol, load, err)
 			}
@@ -132,30 +141,65 @@ func RunServiceSweep(ctx context.Context, cfg Config) (results.ServiceBenchFile,
 	// scenario under moderate load; the other tenants must come out with
 	// exact ledgers.
 	load := 0.6
-	lambda := load * capacity / serviceMeanCells()
-	entry, err := runServiceEntry(ctx, cfg.Seed, service.PolicySRPT, load, lambda, jobs, true)
+	lambda := load * fleetCap / serviceMeanCells()
+	entry, err := runServiceEntry(ctx, cfg.Seed, service.PolicySRPT, load, lambda, jobs, true, 0)
 	if err != nil {
 		return file, fmt.Errorf("bench: service chaos entry: %w", err)
+	}
+	file.Entries = append(file.Entries, entry)
+	// The autoscale entry: SRPT at the top load again, but the capacity
+	// model caps every job's slice at its predicted speedup knee. The
+	// same seed replays the same job mix and arrivals as the uncapped
+	// baseline, so the shipped-volume dividend is measured like for like.
+	load = serviceLoads(cfg.Quick)[len(serviceLoads(cfg.Quick))-1]
+	lambda = load * fleetCap / serviceMeanCells()
+	entry, err = runServiceEntry(ctx, cfg.Seed, service.PolicySRPT, load, lambda, jobs, false, serviceAutoscaleTheta)
+	if err != nil {
+		return file, fmt.Errorf("bench: service autoscale entry: %w", err)
 	}
 	file.Entries = append(file.Entries, entry)
 	return file, nil
 }
 
 // runServiceEntry runs one (policy, load) point: a Poisson stream of
-// jobs from three round-robin tenants through a fresh fleet.
-func runServiceEntry(ctx context.Context, seed int64, pol service.Policy, load, lambda float64, jobs int, chaos bool) (results.ServiceBenchEntry, error) {
+// jobs from three round-robin tenants through a fresh fleet. A positive
+// theta turns on the fleet's capacity-model autoscaler and records the
+// model's per-size knees alongside the measured slice sizes.
+func runServiceEntry(ctx context.Context, seed int64, pol service.Policy, load, lambda float64, jobs int, chaos bool, theta float64) (results.ServiceBenchEntry, error) {
 	entry := results.ServiceBenchEntry{
 		Policy:           string(pol),
 		LoadFactor:       load,
 		LambdaJobsPerSec: lambda,
 		Chaos:            chaos,
 		Jobs:             jobs,
+		Autoscale:        theta > 0,
+		AutoscaleTheta:   theta,
+	}
+	if theta > 0 {
+		// The model's knee per job size in the mix, over the full healthy
+		// fleet — the ceiling every admitted slice must respect.
+		entry.Knees = make(map[string]int, len(serviceJobSizes))
+		for _, s := range serviceJobSizes {
+			m := capacity.Model{
+				Alpha:         2,
+				N:             s.n,
+				Speeds:        serviceSpeeds,
+				WorkPerSecond: serviceRate,
+				Bandwidth:     serviceBandwidth,
+			}
+			r, err := m.Recommend(theta)
+			if err != nil {
+				return entry, fmt.Errorf("capacity knee for n=%d: %w", s.n, err)
+			}
+			entry.Knees[strconv.Itoa(s.n)] = r.Knee
+		}
 	}
 	fleet, err := service.New(service.Config{
-		Speeds:        serviceSpeeds,
-		WorkPerSecond: serviceRate,
-		Link:          nrt.Link{ElemsPerSecond: serviceBandwidth},
-		Policy:        pol,
+		Speeds:         serviceSpeeds,
+		WorkPerSecond:  serviceRate,
+		Link:           nrt.Link{ElemsPerSecond: serviceBandwidth},
+		Policy:         pol,
+		AutoscaleTheta: theta,
 		// Strong anti-starvation aging: a waiting job sheds 20% of fleet
 		// capacity per second from its SRPT key, so the big jobs in the
 		// mix overtake after ~100 ms of waiting instead of riding the
@@ -239,6 +283,8 @@ func runServiceEntry(ctx context.Context, seed int64, pol service.Policy, load, 
 	}
 
 	var latencies []float64
+	var shipped float64
+	sliceSum := 0
 	firstSubmit, lastDone := math.Inf(1), math.Inf(-1)
 	for _, h := range handles {
 		rep, err := h.Wait(ctx)
@@ -255,10 +301,22 @@ func runServiceEntry(ctx context.Context, seed int64, pol service.Policy, load, 
 		latencies = append(latencies, rep.Latency)
 		firstSubmit = math.Min(firstSubmit, rep.SubmitTime)
 		lastDone = math.Max(lastDone, rep.DoneTime)
+		shipped += rep.DataShipped
+		sliceSum += len(rep.Workers)
+		if len(rep.Workers) > entry.MaxSliceWorkers {
+			entry.MaxSliceWorkers = len(rep.Workers)
+		}
+		if entry.Autoscale {
+			if knee, ok := entry.Knees[strconv.Itoa(rep.N)]; ok && len(rep.Workers) > knee {
+				entry.SliceOverKnee++
+			}
+		}
 	}
 	if len(latencies) == 0 {
 		return entry, fmt.Errorf("no job completed")
 	}
+	entry.MeanSliceWorkers = float64(sliceSum) / float64(len(latencies))
+	entry.MeanShippedPerJob = shipped / float64(len(latencies))
 
 	acc := fleet.Accounting()
 	entry.Admitted = acc.Submitted - acc.Rejected
@@ -296,9 +354,12 @@ func runServiceEntry(ctx context.Context, seed int64, pol service.Policy, load, 
 // schema id, non-empty entries, finite ordered latency quantiles, clean
 // admission arithmetic, zero trace violations, the policy gate (SRPT and
 // interleaved installments strictly beat FIFO's p99 at the highest
-// fault-free load — naive FIFO is the provably bad baseline), and the
+// fault-free load — naive FIFO is the provably bad baseline), the
 // isolation gate (in the chaos entry, only the chaos tenant shows
-// reclaimed work; every other tenant's ledger is exact).
+// reclaimed work; every other tenant's ledger is exact), and the
+// autoscale gate (the capacity-model entry kept every slice at or under
+// the knee and shipped strictly less per job than the uncapped baseline
+// at the same policy and load).
 func ValidateService(f results.ServiceBenchFile) error {
 	const path = ServiceFileName
 	if f.Schema != results.BenchServiceSchema {
@@ -320,9 +381,9 @@ func ValidateService(f results.ServiceBenchFile) error {
 		}
 	}
 	p99 := map[string]float64{} // policy → p99 at the top fault-free load
-	sawChaos := false
+	sawChaos, sawAutoscale := false, false
 	for i, e := range f.Entries {
-		id := fmt.Sprintf("entry %d (%s load=%.2f chaos=%v)", i, e.Policy, e.LoadFactor, e.Chaos)
+		id := fmt.Sprintf("entry %d (%s load=%.2f chaos=%v autoscale=%v)", i, e.Policy, e.LoadFactor, e.Chaos, e.Autoscale)
 		if e.Policy == "" || e.Jobs <= 0 {
 			return invalid(path, "%s: missing identity fields", id)
 		}
@@ -347,6 +408,21 @@ func ValidateService(f results.ServiceBenchFile) error {
 			return invalid(path, "%s: latency quantiles out of order (p50 %v, p99 %v, max %v)",
 				id, e.LatencyP50, e.LatencyP99, e.LatencyMax)
 		}
+		if e.MaxSliceWorkers < 1 || e.MaxSliceWorkers > len(f.Speeds) {
+			return invalid(path, "%s: max slice %d outside [1, %d]", id, e.MaxSliceWorkers, len(f.Speeds))
+		}
+		if !finite(e.MeanSliceWorkers) || e.MeanSliceWorkers <= 0 || e.MeanSliceWorkers > float64(e.MaxSliceWorkers) {
+			return invalid(path, "%s: mean slice %v inconsistent with max %d", id, e.MeanSliceWorkers, e.MaxSliceWorkers)
+		}
+		if !finite(e.MeanShippedPerJob) || e.MeanShippedPerJob <= 0 {
+			return invalid(path, "%s: non-positive mean shipped volume %v", id, e.MeanShippedPerJob)
+		}
+		if e.Autoscale {
+			sawAutoscale = true
+			if err := validateAutoscaleEntry(f, e, id); err != nil {
+				return err
+			}
+		}
 		if e.Admitted != e.Jobs-e.Rejected {
 			return invalid(path, "%s: admitted %d ≠ jobs %d − rejected %d", id, e.Admitted, e.Jobs, e.Rejected)
 		}
@@ -360,7 +436,10 @@ func ValidateService(f results.ServiceBenchFile) error {
 			return invalid(path, "%s: no tenant breakdown", id)
 		}
 		if !e.Chaos {
-			if e.LoadFactor == topLoad {
+			// The policy gate compares uncapped runs only: the autoscale
+			// entry trades slice width for link traffic and is judged by its
+			// own gate below, not by the FIFO-vs-SRPT ordering.
+			if e.LoadFactor == topLoad && !e.Autoscale {
 				p99[e.Policy] = e.LatencyP99
 			}
 			for _, ta := range e.Tenants {
@@ -403,6 +482,9 @@ func ValidateService(f results.ServiceBenchFile) error {
 	if !sawChaos {
 		return invalid(path, "no chaos entry — the isolation gate did not run")
 	}
+	if !sawAutoscale {
+		return invalid(path, "no autoscale entry — the capacity-model gate did not run")
+	}
 	fifo, ok := p99["fifo"]
 	if !ok {
 		return invalid(path, "no fifo entry at the top load %.2f", topLoad)
@@ -418,4 +500,48 @@ func ValidateService(f results.ServiceBenchFile) error {
 		}
 	}
 	return nil
+}
+
+// validateAutoscaleEntry checks the capacity-model entry: a recorded
+// knee for every job size, every admitted slice at or under its knee,
+// and strictly less shipped volume per job than the uncapped entry at
+// the same (policy, load) — the measured form of "workers past the knee
+// cost bandwidth without buying speedup".
+func validateAutoscaleEntry(f results.ServiceBenchFile, e results.ServiceBenchEntry, id string) error {
+	const path = ServiceFileName
+	if e.Chaos {
+		return invalid(path, "%s: autoscale entry doubles as the chaos entry — the gates must not share a run", id)
+	}
+	if e.AutoscaleTheta <= 0 || !finite(e.AutoscaleTheta) {
+		return invalid(path, "%s: autoscale entry without a positive theta (%v)", id, e.AutoscaleTheta)
+	}
+	if len(e.Knees) == 0 {
+		return invalid(path, "%s: autoscale entry recorded no knees", id)
+	}
+	maxKnee := 0
+	for n, k := range e.Knees {
+		if k < 1 || k > len(f.Speeds) {
+			return invalid(path, "%s: knee %d for n=%s outside [1, %d]", id, k, n, len(f.Speeds))
+		}
+		if k > maxKnee {
+			maxKnee = k
+		}
+	}
+	if e.SliceOverKnee != 0 {
+		return invalid(path, "%s: %d jobs sized past the capacity-model knee", id, e.SliceOverKnee)
+	}
+	if e.MaxSliceWorkers > maxKnee {
+		return invalid(path, "%s: max slice %d exceeds the largest knee %d", id, e.MaxSliceWorkers, maxKnee)
+	}
+	for _, b := range f.Entries {
+		if b.Autoscale || b.Chaos || b.Policy != e.Policy || b.LoadFactor != e.LoadFactor {
+			continue
+		}
+		if e.MeanShippedPerJob >= b.MeanShippedPerJob {
+			return invalid(path, "%s: autoscaler shipped %.1f elems/job, not below the uncapped %.1f at the same point — no dividend",
+				id, e.MeanShippedPerJob, b.MeanShippedPerJob)
+		}
+		return nil
+	}
+	return invalid(path, "%s: no uncapped baseline at (%s, %.2f) to compare against", id, e.Policy, e.LoadFactor)
 }

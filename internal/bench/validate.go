@@ -112,48 +112,55 @@ func ValidateRuntime(f results.RuntimeBenchFile) error {
 	return nil
 }
 
-// ValidateFiles loads and validates all six artifacts under dir — the
-// CI bench-smoke gate.
+// ValidateFiles loads and validates all seven artifacts under dir —
+// the CI bench-smoke gate.
 func ValidateFiles(dir string) error {
-	kernelsPath, runtimePath, linkPath, chaosPath, servicePath, topologyPath := Paths(dir)
-	kf, err := results.LoadBenchKernels(kernelsPath)
+	paths := Paths(dir)
+	kf, err := results.LoadBenchKernels(paths.Kernels)
 	if err != nil {
 		return err
 	}
 	if err := ValidateKernels(kf); err != nil {
 		return err
 	}
-	rf, err := results.LoadBenchRuntime(runtimePath)
+	rf, err := results.LoadBenchRuntime(paths.Runtime)
 	if err != nil {
 		return err
 	}
 	if err := ValidateRuntime(rf); err != nil {
 		return err
 	}
-	lf, err := results.LoadBenchLink(linkPath)
+	lf, err := results.LoadBenchLink(paths.Link)
 	if err != nil {
 		return err
 	}
 	if err := ValidateLink(lf); err != nil {
 		return err
 	}
-	cf, err := results.LoadBenchChaos(chaosPath)
+	cf, err := results.LoadBenchChaos(paths.Chaos)
 	if err != nil {
 		return err
 	}
 	if err := ValidateChaos(cf); err != nil {
 		return err
 	}
-	sf, err := results.LoadBenchService(servicePath)
+	sf, err := results.LoadBenchService(paths.Service)
 	if err != nil {
 		return err
 	}
 	if err := ValidateService(sf); err != nil {
 		return err
 	}
-	tf, err := results.LoadBenchTopology(topologyPath)
+	tf, err := results.LoadBenchTopology(paths.Topology)
 	if err != nil {
 		return err
 	}
-	return ValidateTopology(tf)
+	if err := ValidateTopology(tf); err != nil {
+		return err
+	}
+	capf, err := results.LoadBenchCapacity(paths.Capacity)
+	if err != nil {
+		return err
+	}
+	return ValidateCapacity(capf)
 }

@@ -1,0 +1,54 @@
+package capacity_test
+
+import (
+	"fmt"
+
+	"nlfl/internal/capacity"
+)
+
+// ExampleModel_Recommend sizes a fleet slice for an α=2 workload on the
+// BENCH_capacity.json envelope: eight workers behind a constrained
+// one-port link. The knee lands at four workers — past it, one more
+// worker's extra input shipping eats its compute contribution.
+func ExampleModel_Recommend() {
+	m := capacity.Model{
+		Alpha:         2,
+		N:             96,
+		Speeds:        []float64{4, 4, 3, 3, 2, 2, 1, 1},
+		WorkPerSecond: 3e4,
+		Bandwidth:     2.5e4,
+	}
+	rec, err := m.Recommend(0.05)
+	if err != nil {
+		panic(err)
+	}
+	at := rec.AtKnee()
+	fmt.Printf("knee: %d workers, speedup %.2f×, makespan %.1f ms\n",
+		rec.Knee, at.Speedup, at.Makespan*1e3)
+	fmt.Printf("chunking instead would leave %.0f%% of the work undone\n",
+		100*at.UnprocessedIfChunked)
+	// Output:
+	// knee: 4 workers, speedup 2.26×, makespan 37.3 ms
+	// chunking instead would leave 75% of the work undone
+}
+
+// ExampleModel_PredictSlice prices a single slice size: the PERI-SUM
+// input volume, the serialized transfer time, and the balanced compute
+// phase.
+func ExampleModel_PredictSlice() {
+	m := capacity.Model{
+		Alpha:         2,
+		N:             96,
+		Speeds:        []float64{4, 4, 3, 3, 2, 2, 1, 1},
+		WorkPerSecond: 3e4,
+		Bandwidth:     2.5e4,
+	}
+	pred, err := m.PredictSlice(2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("p=2 ships %.0f elements: %.2f ms comm + %.2f ms compute\n",
+		pred.CommVolume, pred.CommTime*1e3, pred.ComputeTime*1e3)
+	// Output:
+	// p=2 ships 288 elements: 11.52 ms comm + 38.40 ms compute
+}

@@ -1,0 +1,109 @@
+package capacity
+
+import (
+	"fmt"
+	"math"
+
+	"nlfl/internal/outer"
+	"nlfl/internal/platform"
+)
+
+// Recommendation is the planner's answer: the full speedup curve, the
+// knee (the last worker count still worth paying for at threshold
+// Theta), the curve's argmax, and the closed-form speedup ceiling no
+// fleet size can beat.
+type Recommendation struct {
+	// Theta is the marginal-gain threshold the knee was computed with:
+	// worker p+1 is admitted while S(p+1)/S(p) − 1 ≥ Theta.
+	Theta float64 `json:"theta"`
+	// Knee is the recommended slice size: the scan from p=1 stops at the
+	// first step whose relative speedup gain falls below Theta.
+	Knee int `json:"knee"`
+	// Best is the argmax of the raw speedup curve — the slice size past
+	// which extra workers *hurt* (shipping outweighs compute) rather
+	// than merely paying back below threshold.
+	Best int `json:"best"`
+	// SpeedupBound is the closed-form ceiling T(1)/min_p T_LB(p), where
+	// T_LB(p) = max(V_LB(p)/B, N^α/(R·Σᵢ≤ₚsᵢ)) uses the partition
+	// lower-bound volume 2·N^(α/2)·Σ√xᵢ: no plan on any slice of this
+	// fleet, however laid out, beats it.
+	SpeedupBound float64 `json:"speedupBound"`
+	// Curve is the per-slice-size forecast, index p-1 for p workers.
+	Curve []Prediction `json:"curve"`
+}
+
+// AtKnee returns the prediction at the recommended slice size.
+func (r Recommendation) AtKnee() Prediction { return r.Curve[r.Knee-1] }
+
+// Recommend computes the speedup curve and its knee: starting from one
+// worker, the next-fastest worker is added while it still buys at least
+// theta relative speedup; the scan stops at the first step below theta.
+// Workers past the knee are waste — the fleet-service autoscaler caps
+// admission slices here, and `nlfl recommend` prints it for operators.
+func (m Model) Recommend(theta float64) (Recommendation, error) {
+	if theta <= 0 || math.IsNaN(theta) || math.IsInf(theta, 0) {
+		return Recommendation{}, fmt.Errorf("capacity: marginal-gain threshold %v must be positive", theta)
+	}
+	curve, err := m.Curve()
+	if err != nil {
+		return Recommendation{}, err
+	}
+	knee := 1
+	for knee < len(curve) {
+		gain := curve[knee].Speedup/curve[knee-1].Speedup - 1
+		if gain < theta {
+			break
+		}
+		knee++
+	}
+	best := 1
+	for p := 2; p <= len(curve); p++ {
+		if curve[p-1].Speedup > curve[best-1].Speedup {
+			best = p
+		}
+	}
+	bound, err := m.SpeedupBound()
+	if err != nil {
+		return Recommendation{}, err
+	}
+	return Recommendation{
+		Theta:        theta,
+		Knee:         knee,
+		Best:         best,
+		SpeedupBound: bound,
+		Curve:        curve,
+	}, nil
+}
+
+// SpeedupBound returns the closed-form speedup ceiling for this fleet:
+// T(1) over the smallest lower-bound makespan any slice size admits.
+// T_LB(p) keeps both resources honest — the link must carry at least the
+// partition lower-bound volume 2·N^(α/2)·Σ√xᵢ serially, and the compute
+// phase cannot beat perfect balance N^α/(R·Σsᵢ) — so every real plan's
+// makespan is ≥ T_LB(p) and every speedup is ≤ this bound.
+func (m Model) SpeedupBound() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	base, err := m.predict(1)
+	if err != nil {
+		return 0, err
+	}
+	minLB := math.Inf(1)
+	for p := 1; p <= len(m.Speeds); p++ {
+		pl, err := platform.FromSpeeds(m.fastest(p))
+		if err != nil {
+			return 0, fmt.Errorf("capacity: %w", err)
+		}
+		lb := m.work() / (m.WorkPerSecond * pl.TotalSpeed())
+		if m.Bandwidth > 0 {
+			if comm := outer.LowerBound(pl, m.side()) / m.Bandwidth; comm > lb {
+				lb = comm
+			}
+		}
+		if lb < minLB {
+			minLB = lb
+		}
+	}
+	return base.Makespan / minLB, nil
+}

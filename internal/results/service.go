@@ -41,6 +41,15 @@ type ServiceBenchEntry struct {
 	LoadFactor       float64 `json:"loadFactor"`
 	// Chaos marks the entry whose chaos tenant ran with job-scoped faults.
 	Chaos bool `json:"chaos"`
+	// Autoscale marks the entry run with the capacity-model autoscaler at
+	// threshold AutoscaleTheta: each job's slice is capped at the model's
+	// speedup knee for its size. Knees records that knee per job size
+	// ("48" → 3), and SliceOverKnee counts completed jobs whose slice
+	// exceeded the knee for their size — 0 in any valid autoscale entry.
+	Autoscale      bool           `json:"autoscale,omitempty"`
+	AutoscaleTheta float64        `json:"autoscaleTheta,omitempty"`
+	Knees          map[string]int `json:"knees,omitempty"`
+	SliceOverKnee  int            `json:"sliceOverKnee,omitempty"`
 	// Jobs is the offered job count; Admitted/Rejected/Completed/Failed
 	// partition it (Rejected by admission control, Failed by exhausted
 	// fault budgets).
@@ -58,6 +67,15 @@ type ServiceBenchEntry struct {
 	LatencyP99  float64 `json:"latencyP99"`
 	LatencyMean float64 `json:"latencyMean"`
 	LatencyMax  float64 `json:"latencyMax"`
+	// MaxSliceWorkers and MeanSliceWorkers summarize admitted slice sizes
+	// over completed jobs; MeanShippedPerJob is the mean input volume one
+	// completed job shipped over the link (elements). The autoscaler's
+	// no-free-lunch dividend shows up here: capping slices at the knee
+	// trims shipped volume below the uncapped baseline at the same
+	// (policy, load) point.
+	MaxSliceWorkers   int     `json:"maxSliceWorkers"`
+	MeanSliceWorkers  float64 `json:"meanSliceWorkers"`
+	MeanShippedPerJob float64 `json:"meanShippedPerJob"`
 	// Tenants is the per-tenant breakdown, sorted by tenant name.
 	Tenants []ServiceTenantStat `json:"tenants"`
 	// Violations counts trace-oracle findings across every completed job;

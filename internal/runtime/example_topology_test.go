@@ -1,0 +1,28 @@
+package runtime_test
+
+import (
+	"fmt"
+
+	nrt "nlfl/internal/runtime"
+)
+
+// ExampleTopology contrasts the three shipped network families without
+// running the pool: the star circuit-switches every worker through the
+// shared master port, the daisy chain store-and-forwards a deep
+// worker's payload across every earlier hop (the relay traffic the
+// trace oracle audits), and the two-source network gives each worker a
+// single private-source hop.
+func ExampleTopology() {
+	for _, topo := range []nrt.Topology{
+		nrt.Star{Aggregate: 2e4, Workers: 4},
+		nrt.UniformChain(4, 2e4),
+		nrt.SplitTwoSource(4, 2e4, 2e4),
+	} {
+		fmt.Printf("%-10s  edges=%d  store-and-forward=%-5v  route(w=3)=%v\n",
+			topo.Name(), len(topo.Edges()), topo.StoreAndForward(), topo.Route(3))
+	}
+	// Output:
+	// star        edges=5  store-and-forward=false  route(w=3)=[0 4]
+	// chain       edges=4  store-and-forward=true   route(w=3)=[0 1 2 3]
+	// two-source  edges=2  store-and-forward=false  route(w=3)=[1]
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	nrt "nlfl/internal/runtime"
 )
 
 // slowConfig makes jobs take long enough to pile up deterministically.
@@ -177,6 +179,134 @@ func TestCloseFailsInFlightJobs(t *testing.T) {
 	}
 	if !errors.Is(err, ErrFleetClosed) && !errors.Is(err, context.Canceled) {
 		t.Fatalf("Wait after Close: %v", err)
+	}
+}
+
+// rejectReason unwraps an admission rejection's typed reason.
+func rejectReason(t *testing.T, err error) RejectReason {
+	t.Helper()
+	if !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("not an admission rejection: %v", err)
+	}
+	var ae *AdmissionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("rejection without *AdmissionError: %v", err)
+	}
+	if ae.Detail == "" {
+		t.Fatalf("rejection with empty detail: %+v", ae)
+	}
+	return ae.Reason
+}
+
+// TestAdmissionRejectReasons pins the typed reason on every rejection
+// path — the regression test for `nlfl serve` 429s that previously
+// could not say why.
+func TestAdmissionRejectReasons(t *testing.T) {
+	cfg := slowConfig()
+	cfg.MaxQueue = 2
+	cfg.TenantQuota = 1
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h1 := mustSubmit(t, f, JobSpec{Tenant: "a", N: 64})
+	_, err = f.Submit(JobSpec{Tenant: "a", N: 64})
+	if got := rejectReason(t, err); got != RejectTenantQuota {
+		t.Errorf("over-quota reason %q, want %q", got, RejectTenantQuota)
+	}
+	h2 := mustSubmit(t, f, JobSpec{Tenant: "b", N: 64})
+	_, err = f.Submit(JobSpec{Tenant: "c", N: 64})
+	if got := rejectReason(t, err); got != RejectQueueFull {
+		t.Errorf("queue-full reason %q, want %q", got, RejectQueueFull)
+	}
+	h1.Cancel()
+	h2.Cancel()
+	h1.Wait(context.Background())
+	h2.Wait(context.Background())
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.Drain(drainCtx); err != nil {
+		t.Fatalf("Drain over an idle fleet: %v", err)
+	}
+	_, err = f.Submit(JobSpec{Tenant: "d", N: 64})
+	if got := rejectReason(t, err); got != RejectDraining {
+		t.Errorf("draining reason %q, want %q", got, RejectDraining)
+	}
+	f.Close()
+	_, err = f.Submit(JobSpec{Tenant: "e", N: 64})
+	if got := rejectReason(t, err); got != RejectFleetClosed {
+		t.Errorf("closed reason %q, want %q", got, RejectFleetClosed)
+	}
+}
+
+// autoscaleConfig is the calibrated envelope the service sweep uses:
+// fleet {1,2,3,4} at 3e4 cells/s per unit speed behind a 2.5e4-elems/s
+// link, where the capacity model's knee for n∈{48,64,96} is 3 of 4.
+func autoscaleConfig(theta float64) Config {
+	return Config{
+		Speeds:         []float64{1, 2, 3, 4},
+		WorkPerSecond:  3e4,
+		Link:           nrt.Link{ElemsPerSecond: 2.5e4},
+		Policy:         PolicySRPT,
+		AutoscaleTheta: theta,
+		VerifyEvery:    997,
+	}
+}
+
+// TestAutoscaleCapsSliceAtKnee: with AutoscaleTheta set, a job's slice
+// stops at the capacity model's knee even though the static admission
+// rule would hand it the whole fleet; with autoscaling off the same job
+// gets all four workers.
+func TestAutoscaleCapsSliceAtKnee(t *testing.T) {
+	for _, tc := range []struct {
+		theta       float64
+		wantWorkers int
+		wantAuto    bool
+	}{
+		{0.05, 3, true},
+		{0, 4, false},
+	} {
+		f, err := New(autoscaleConfig(tc.theta))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := mustSubmit(t, f, JobSpec{Tenant: "auto", N: 64, Strategy: "het"})
+		rep := waitOK(t, h)
+		if len(rep.Workers) != tc.wantWorkers {
+			t.Errorf("theta %v: slice %v, want %d workers", tc.theta, rep.Workers, tc.wantWorkers)
+		}
+		if rep.Autoscaled != tc.wantAuto {
+			t.Errorf("theta %v: Autoscaled=%v, want %v", tc.theta, rep.Autoscaled, tc.wantAuto)
+		}
+		if tc.wantAuto && rep.PredictedMakespan <= 0 {
+			t.Errorf("theta %v: no predicted makespan on an autoscaled job", tc.theta)
+		}
+		f.Close()
+	}
+}
+
+// TestAutoscaleDeadlineReject: when the knee-sized slice cannot meet
+// the job's deadline, the capacity model sheds the job at the door with
+// the amdahl-cap reason instead of admitting it to fail.
+func TestAutoscaleDeadlineReject(t *testing.T) {
+	f, err := New(autoscaleConfig(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// A 96² job takes ≥ 30 ms on this fleet; a 1 ms deadline is hopeless
+	// at any slice size, so the model rejects rather than admits.
+	_, err = f.Submit(JobSpec{Tenant: "hopeless", N: 96, Deadline: time.Millisecond})
+	if got := rejectReason(t, err); got != RejectAmdahlCap {
+		t.Errorf("hopeless-deadline reason %q, want %q", got, RejectAmdahlCap)
+	}
+	// A generous deadline sails through and completes in time.
+	h := mustSubmit(t, f, JobSpec{Tenant: "fine", N: 96, Deadline: 30 * time.Second})
+	checkJob(t, waitOK(t, h))
+	acc := f.Accounting()
+	if acc.Rejected != 1 || acc.Completed != 1 {
+		t.Fatalf("accounting: %+v", acc)
 	}
 }
 

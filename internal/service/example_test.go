@@ -1,0 +1,51 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	nrt "nlfl/internal/runtime"
+	"nlfl/internal/service"
+)
+
+// ExampleFleet shows the fleet's admission story end to end: a job is
+// autoscaled to the capacity model's knee (3 of the 4 workers — the
+// fourth would add under 5% speedup for its input shipping), completes
+// with an exact volume ledger, and a deadline no admissible slice can
+// meet is shed at the door with the typed amdahl-cap reason.
+func ExampleFleet() {
+	fleet, err := service.New(service.Config{
+		Speeds:         []float64{1, 2, 3, 4},
+		WorkPerSecond:  3e4,
+		Link:           nrt.Link{ElemsPerSecond: 2.5e4},
+		AutoscaleTheta: 0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Close()
+
+	h, err := fleet.Submit(service.JobSpec{Tenant: "a", N: 64, Strategy: "het", Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := h.Wait(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("autoscaled to %d of 4 workers\n", len(rep.Workers))
+	fmt.Printf("ledger exact: %v\n", rep.CommittedVolume == rep.PlanVolume)
+
+	_, err = fleet.Submit(service.JobSpec{Tenant: "a", N: 96, Deadline: time.Millisecond})
+	var ae *service.AdmissionError
+	if errors.As(err, &ae) {
+		fmt.Printf("rejected: %s\n", ae.Reason)
+	}
+	// Output:
+	// autoscaled to 3 of 4 workers
+	// ledger exact: true
+	// rejected: amdahl-cap
+}

@@ -188,6 +188,12 @@ type job struct {
 	specWins       int
 	degraded       int
 
+	// autoscaled marks a slice sized by the capacity model (fleet
+	// AutoscaleTheta > 0); predictedMakespan is the model's forecast for
+	// the admitted slice, frozen at admission.
+	autoscaled        bool
+	predictedMakespan float64
+
 	state  jobState
 	err    error
 	report *JobReport
@@ -344,6 +350,12 @@ type JobReport struct {
 	Failed bool
 	Err    string
 
+	// Autoscaled marks a slice sized by the fleet's capacity model;
+	// PredictedMakespan is the model's service-time forecast for that
+	// slice (0 when autoscaling was off).
+	Autoscaled        bool
+	PredictedMakespan float64
+
 	// Out is the verified output matrix (nil when the job failed).
 	Out *matmul.Matrix
 	// Trace is the job's own timeline over the *fleet's* workers; rows
@@ -438,6 +450,9 @@ func (f *Fleet) finalizeLocked(j *job, err error) {
 		Topology:        f.Topology(),
 		Edges:           f.edgeRows(),
 		SpanRoutes:      f.net.SpanRoutes(),
+
+		Autoscaled:        j.autoscaled,
+		PredictedMakespan: j.predictedMakespan,
 
 		Failed: err != nil,
 		Trace:  j.tl,

@@ -1,42 +1,3 @@
-// Package service is the multi-tenant fleet layer: a long-lived worker
-// pool that admits a *stream* of outer-product jobs from many tenants
-// and runs them concurrently over shared token buckets and one shared
-// one-port master link — the production shape of the paper's platform,
-// where `runtime.Run`'s one-job-at-a-time pool becomes a service.
-//
-// Robustness is the organizing principle:
-//
-//   - Admission control: the queue of unfinished jobs is bounded
-//     fleet-wide and per tenant; overload sheds new work with the typed
-//     ErrAdmissionRejected instead of queueing without bound. Each job
-//     is admitted with only the fleet slice it can actually use (an
-//     Amdahl-style cap — workers beyond N²/MinCellsPerWorker would cost
-//     communication without buying compute, the no-free-lunch knee).
-//   - Isolation: faults are scoped to the job that carries them. A
-//     chaos-crashed worker dies *for that job only* — its leases and
-//     backlog are reclaimed and re-planned onto the job's surviving
-//     workers (PERI-SUM, as in the single-run chaos queue) while the
-//     same worker keeps serving every other job. Per-tenant fair-share
-//     ordering keeps one tenant's flood from starving the rest, and the
-//     bounded per-tenant quota keeps the flood from occupying the queue.
-//   - Deadlines and cancellation: every job carries a context; deadline
-//     expiry or cancellation reclaims its leases promptly and cleanly —
-//     in-flight chunks of a dead job commit to nowhere (accounted as
-//     waste) and never poison another job's ledger.
-//   - Health: workers that keep dying inside jobs accumulate strikes and
-//     are quarantined — excluded from new jobs' slices — then readmitted
-//     after a probation of completed jobs.
-//   - Graceful degradation: Drain stops admission and finishes (or
-//     cleanly fails) the in-flight jobs; Close always leaves every
-//     waiter answered.
-//
-// Scheduling policies (see Policy): naive FIFO (job-exclusive, the
-// provably bad baseline of Gallet–Robert–Vivien's multi-load analysis),
-// an SRPT-like shortest-remaining-first with anti-starvation aging, and
-// interleaved installments (least-attained-service round-robin, the
-// multi-installment fix from the same line of work). Both non-FIFO
-// policies order tenants by attained service first — the fair-share
-// guarantee — and jobs within the tenant by the policy key.
 package service
 
 import (
@@ -48,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"nlfl/internal/capacity"
 	"nlfl/internal/platform"
 	nrt "nlfl/internal/runtime"
 	"nlfl/internal/stats"
@@ -57,6 +19,8 @@ import (
 var (
 	// ErrAdmissionRejected marks a job shed at the door: the admission
 	// queue is full, the tenant is over quota, or the fleet is draining.
+	// Every rejection is an *AdmissionError carrying the machine-readable
+	// reason; errors.Is(err, ErrAdmissionRejected) still matches.
 	ErrAdmissionRejected = errors.New("service: admission rejected")
 	// ErrFleetClosed marks a job terminated by fleet shutdown rather than
 	// by its own failure.
@@ -66,6 +30,45 @@ var (
 	// job's slice. Other jobs are unaffected.
 	ErrJobFailed = errors.New("service: job failed")
 )
+
+// RejectReason is the machine-readable cause of an admission rejection,
+// carried by AdmissionError so API layers can report *why* a job was
+// shed (quota vs fleet-full vs the capacity model's verdict) instead of
+// a bare 429.
+type RejectReason string
+
+const (
+	// RejectFleetClosed: the fleet has been Closed.
+	RejectFleetClosed RejectReason = "fleet-closed"
+	// RejectDraining: the fleet is draining; no new admissions.
+	RejectDraining RejectReason = "draining"
+	// RejectQueueFull: the fleet-wide unfinished-job queue is at MaxQueue.
+	RejectQueueFull RejectReason = "queue-full"
+	// RejectTenantQuota: this tenant is at its unfinished-job quota.
+	RejectTenantQuota RejectReason = "tenant-quota"
+	// RejectNoHealthyWorker: every fleet worker is quarantined.
+	RejectNoHealthyWorker RejectReason = "no-healthy-worker"
+	// RejectAmdahlCap: the capacity model's knee-sized slice cannot meet
+	// the job's deadline — no larger slice would either (adding workers
+	// past the knee buys under AutoscaleTheta marginal speedup), so the
+	// job is shed at the door instead of admitted to miss its deadline.
+	RejectAmdahlCap RejectReason = "amdahl-cap"
+)
+
+// AdmissionError is the typed rejection returned by Submit: Reason is
+// the machine-readable cause, Detail the human-readable specifics.
+// Unwrap yields ErrAdmissionRejected, so existing errors.Is checks keep
+// working; use errors.As to recover the reason.
+type AdmissionError struct {
+	Reason RejectReason
+	Detail string
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("%v: %s: %s", ErrAdmissionRejected, e.Reason, e.Detail)
+}
+
+func (e *AdmissionError) Unwrap() error { return ErrAdmissionRejected }
 
 // Config sizes the fleet.
 type Config struct {
@@ -107,6 +110,15 @@ type Config struct {
 	// healthy ones), because a thinner split ships more input data than
 	// the extra workers can pay back. 0 selects 256.
 	MinCellsPerWorker int
+	// AutoscaleTheta, when positive, turns on capacity-model slice
+	// sizing: each job's slice is additionally capped at the knee of the
+	// predicted speedup curve for its size over the healthy fleet (the
+	// worker count past which marginal speedup falls below this
+	// threshold), and a job whose deadline the knee-sized slice cannot
+	// meet is rejected with RejectAmdahlCap rather than admitted to
+	// fail. 0 disables the model and keeps the static
+	// MinCellsPerWorker-only rule.
+	AutoscaleTheta float64
 	// QuarantineAfter is the strike budget: a worker that dies inside
 	// QuarantineAfter jobs is quarantined. 0 selects 2.
 	QuarantineAfter int
@@ -266,19 +278,19 @@ func (f *Fleet) Submit(spec JobSpec) (*JobHandle, error) {
 	f.submitted++
 	led := f.ledgerLocked(spec.Tenant)
 	led.Submitted++
-	reject := func(reason string) (*JobHandle, error) {
+	reject := func(reason RejectReason, detail string) (*JobHandle, error) {
 		f.rejected++
 		led.Rejected++
-		return nil, fmt.Errorf("%w: %s", ErrAdmissionRejected, reason)
+		return nil, &AdmissionError{Reason: reason, Detail: detail}
 	}
 	if f.closed {
-		return reject("fleet closed")
+		return reject(RejectFleetClosed, "fleet closed")
 	}
 	if f.draining {
-		return reject("fleet draining")
+		return reject(RejectDraining, "fleet draining")
 	}
 	if len(f.active) >= f.cfg.MaxQueue {
-		return reject(fmt.Sprintf("queue full (%d unfinished jobs)", len(f.active)))
+		return reject(RejectQueueFull, fmt.Sprintf("queue full (%d unfinished jobs)", len(f.active)))
 	}
 	tenantActive := 0
 	for _, j := range f.active {
@@ -287,17 +299,29 @@ func (f *Fleet) Submit(spec JobSpec) (*JobHandle, error) {
 		}
 	}
 	if tenantActive >= f.cfg.TenantQuota {
-		return reject(fmt.Sprintf("tenant %q over quota (%d unfinished jobs)", spec.Tenant, tenantActive))
+		return reject(RejectTenantQuota, fmt.Sprintf("tenant %q over quota (%d unfinished jobs)", spec.Tenant, tenantActive))
 	}
-	slice := f.sliceForLocked(spec)
+	slice, pred := f.sliceForLocked(spec)
 	if len(slice) == 0 {
-		return reject("no healthy worker available")
+		return reject(RejectNoHealthyWorker, "no healthy worker available")
+	}
+	// The capacity model's no-free-lunch verdict: if the knee-capped slice
+	// cannot meet the deadline, no admissible slice can (workers past the
+	// knee add under AutoscaleTheta speedup), so shed the job at the door.
+	if pred != nil && spec.Deadline > 0 && pred.Makespan > spec.Deadline.Seconds() {
+		return reject(RejectAmdahlCap, fmt.Sprintf(
+			"predicted makespan %.3fs over %d workers (capacity-model knee) exceeds the %.3fs deadline",
+			pred.Makespan, pred.Workers, spec.Deadline.Seconds()))
 	}
 	j, err := f.buildJobLocked(spec, slice)
 	if err != nil {
 		f.rejected++
 		led.Rejected++
 		return nil, err
+	}
+	if pred != nil {
+		j.autoscaled = true
+		j.predictedMakespan = pred.Makespan
 	}
 	f.active = append(f.active, j)
 	led.Admitted++
@@ -308,8 +332,11 @@ func (f *Fleet) Submit(spec JobSpec) (*JobHandle, error) {
 // sliceForLocked picks the job's fleet slice: the fastest healthy
 // workers, capped by the Amdahl-style admission rule (at most
 // N²/MinCellsPerWorker workers — beyond that the extra input shipping
-// outweighs the extra compute) and by the spec's own MaxWorkers.
-func (f *Fleet) sliceForLocked(spec JobSpec) []int {
+// outweighs the extra compute), by the spec's own MaxWorkers, and —
+// when AutoscaleTheta is set — by the capacity model's knee for this
+// job size over the healthy fleet. With autoscaling on, the returned
+// prediction prices the chosen slice (nil otherwise).
+func (f *Fleet) sliceForLocked(spec JobSpec) ([]int, *capacity.Prediction) {
 	ids := make([]int, 0, len(f.speeds))
 	for w := range f.speeds {
 		if !f.health[w].quarantined {
@@ -324,12 +351,37 @@ func (f *Fleet) sliceForLocked(spec JobSpec) []int {
 	if spec.MaxWorkers > 0 && spec.MaxWorkers < limit {
 		limit = spec.MaxWorkers
 	}
+	var rec *capacity.Recommendation
+	if f.cfg.AutoscaleTheta > 0 && len(ids) > 0 {
+		speeds := make([]float64, len(ids))
+		for i, w := range ids {
+			speeds[i] = f.speeds[w]
+		}
+		m := capacity.Model{
+			Alpha:         2, // the fleet runs N×N outer products
+			N:             spec.N,
+			Speeds:        speeds,
+			WorkPerSecond: f.rate,
+			Bandwidth:     f.net.Capacity(),
+		}
+		if r, err := m.Recommend(f.cfg.AutoscaleTheta); err == nil {
+			rec = &r
+			if r.Knee < limit {
+				limit = r.Knee
+			}
+		}
+	}
 	if limit < 1 {
 		limit = min(1, len(ids))
 	}
 	ids = ids[:limit]
 	sort.Ints(ids)
-	return ids
+	var pred *capacity.Prediction
+	if rec != nil && limit >= 1 && limit <= len(rec.Curve) {
+		p := rec.Curve[limit-1]
+		pred = &p
+	}
+	return ids, pred
 }
 
 // buildJobLocked plans the job over its slice and allocates its state.
