@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 
 	"nlfl/internal/bench"
 	"nlfl/internal/results"
@@ -39,6 +40,8 @@ func runBench(args []string) error {
 	topologyOnly := fs.Bool("topology", false, "run (or with -validate, check) only the network-topology sweep")
 	capacityOnly := fs.Bool("capacity", false, "run (or with -validate, check) only the capacity-model validation sweep")
 	validate := fs.Bool("validate", false, "validate existing BENCH_*.json in -out instead of running")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the sweeps to this file (inspect with `go tool pprof`)")
+	compare := fs.String("compare", "", "compare a baseline BENCH_kernels.json against a new one (positional arg; defaults to -out's) and print a benchstat-style table instead of running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +55,25 @@ func runBench(args []string) error {
 		return fmt.Errorf("bench: -chaos, -service, -topology and -capacity are mutually exclusive")
 	}
 	paths := bench.Paths(*out)
+	if *compare != "" {
+		// `nlfl bench -compare old.json [new.json]`: before/after kernel
+		// table, the manual counterpart of the CI comparison step.
+		before, err := results.LoadBenchKernels(*compare)
+		if err != nil {
+			return err
+		}
+		newPath := paths.Kernels
+		if fs.NArg() > 0 {
+			newPath = fs.Arg(0)
+		}
+		after, err := results.LoadBenchKernels(newPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("kernel comparison: %s → %s\n", *compare, newPath)
+		fmt.Print(bench.FormatKernelDeltas(bench.CompareKernels(before, after)))
+		return nil
+	}
 	if *validate {
 		if *chaosOnly {
 			cf, err := results.LoadBenchChaos(paths.Chaos)
@@ -106,6 +128,17 @@ func runBench(args []string) error {
 
 	ctx, stop := benchContext()
 	defer stop()
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	cfg := bench.Config{Seed: *seed, Quick: *quick, WorkPerSecond: *rate}
 	if *chaosOnly {
 		cf, err := bench.RunChaosSweep(ctx, cfg)

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nlfl/internal/results"
+)
+
+// KernelDelta is one before/after row of a kernel comparison: the same
+// (kernel, n, workers) configuration measured in two BENCH_kernels
+// artifacts.
+type KernelDelta struct {
+	Kernel  string
+	N       int
+	Workers int
+	// OldSeconds/NewSeconds are the best-of timings; zero on the side
+	// where the configuration is missing.
+	OldSeconds, NewSeconds float64
+	OldGFLOPS, NewGFLOPS   float64
+	// Speedup is OldSeconds/NewSeconds (>1 means the new file is faster);
+	// 0 when either side is missing.
+	Speedup float64
+}
+
+// CompareKernels matches the two files' entries by (kernel, n, workers)
+// and returns one delta per configuration present in either, ordered by
+// kernel name, then n, then workers. Configurations present on only one
+// side appear with the other side zeroed, so a comparison never silently
+// drops a vanished or newly added kernel.
+func CompareKernels(before, after results.KernelBenchFile) []KernelDelta {
+	type key struct {
+		kernel  string
+		n, wkrs int
+	}
+	rows := map[key]*KernelDelta{}
+	at := func(k key) *KernelDelta {
+		if d, ok := rows[k]; ok {
+			return d
+		}
+		d := &KernelDelta{Kernel: k.kernel, N: k.n, Workers: k.wkrs}
+		rows[k] = d
+		return d
+	}
+	for _, e := range before.Entries {
+		d := at(key{e.Kernel, e.N, e.Workers})
+		d.OldSeconds, d.OldGFLOPS = e.Seconds, e.GFLOPS
+	}
+	for _, e := range after.Entries {
+		d := at(key{e.Kernel, e.N, e.Workers})
+		d.NewSeconds, d.NewGFLOPS = e.Seconds, e.GFLOPS
+	}
+	out := make([]KernelDelta, 0, len(rows))
+	for _, d := range rows {
+		if d.OldSeconds > 0 && d.NewSeconds > 0 {
+			d.Speedup = d.OldSeconds / d.NewSeconds
+		}
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kernel != out[j].Kernel {
+			return out[i].Kernel < out[j].Kernel
+		}
+		if out[i].N != out[j].N {
+			return out[i].N < out[j].N
+		}
+		return out[i].Workers < out[j].Workers
+	})
+	return out
+}
+
+// FormatKernelDeltas renders the comparison as a benchstat-style table:
+// one row per configuration, old and new timings side by side, and the
+// relative change in both time and throughput. Missing sides render as
+// "-" with the delta column reading "added"/"removed".
+func FormatKernelDeltas(deltas []KernelDelta) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %6s %5s │ %12s %12s %8s │ %10s %10s %8s\n",
+		"kernel", "n", "wkrs", "old sec", "new sec", "delta", "old GF/s", "new GF/s", "ratio")
+	for _, d := range deltas {
+		name := d.Kernel
+		switch {
+		case d.OldSeconds == 0:
+			fmt.Fprintf(&sb, "%-16s %6d %5d │ %12s %12.6f %8s │ %10s %10.3f %8s\n",
+				name, d.N, d.Workers, "-", d.NewSeconds, "added", "-", d.NewGFLOPS, "")
+		case d.NewSeconds == 0:
+			fmt.Fprintf(&sb, "%-16s %6d %5d │ %12.6f %12s %8s │ %10.3f %10s %8s\n",
+				name, d.N, d.Workers, d.OldSeconds, "-", "removed", d.OldGFLOPS, "-", "")
+		default:
+			pct := (d.NewSeconds - d.OldSeconds) / d.OldSeconds * 100
+			fmt.Fprintf(&sb, "%-16s %6d %5d │ %12.6f %12.6f %+7.1f%% │ %10.3f %10.3f %7.2fx\n",
+				name, d.N, d.Workers, d.OldSeconds, d.NewSeconds, pct, d.OldGFLOPS, d.NewGFLOPS, d.Speedup)
+		}
+	}
+	return sb.String()
+}

@@ -12,12 +12,14 @@ import (
 	"nlfl/internal/stats"
 )
 
-// kernelSizes returns the matrix sides measured per configuration.
+// kernelSizes returns the matrix sides measured per configuration. The
+// full sweep tops out at n=1024 — the size the CI throughput floor and
+// the PERFORMANCE.md before/after numbers are quoted at.
 func kernelSizes(quick bool) []int {
 	if quick {
 		return []int{64, 128}
 	}
-	return []int{128, 256, 448}
+	return []int{128, 256, 448, 1024}
 }
 
 // minReps/minSpan bound the timing loop: each kernel runs at least

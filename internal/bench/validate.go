@@ -17,10 +17,33 @@ func invalid(path, format string, args ...interface{}) error {
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
+// Kernel throughput gates enforced on top of the schema check. They are
+// deliberately slack multiples (timing noise, shared CI machines), not
+// tight equalities — but slack enough only to absorb jitter, not a
+// performance regression.
+const (
+	// parallelVsTiledFloor: at every n ≥ parallelGateMinN, the best
+	// parallel-tiled entry must reach at least this fraction of the
+	// single-threaded tiled throughput. On a single-CPU machine the
+	// serial fallback makes the two the same code path, so a parallel
+	// entry losing badly to tiled means the band split itself regressed.
+	parallelVsTiledFloor = 0.95
+	parallelGateMinN     = 256
+	// parallelVsNaiveFloor: when the sweep includes n=1024 (the full,
+	// non-quick configuration), the best parallel-tiled entry there must
+	// beat the naive reference by at least this factor — the packed
+	// register-blocked kernel's reason to exist.
+	parallelVsNaiveFloor = 2.0
+	gateN                = 1024
+)
+
 // ValidateKernels is the schema check for a BENCH_kernels payload: right
 // schema id, a non-empty entry list, finite positive timings and
-// throughputs, and every entry equivalence-checked against the reference
-// kernel.
+// throughputs, every entry equivalence-checked against the reference
+// kernel — plus the throughput gates: parallel-tiled within
+// parallelVsTiledFloor of tiled at every n ≥ parallelGateMinN, and (when
+// the sweep includes n=1024) parallel-tiled at least parallelVsNaiveFloor
+// times the naive throughput there.
 func ValidateKernels(f results.KernelBenchFile) error {
 	const path = KernelsFileName
 	if f.Schema != results.BenchKernelsSchema {
@@ -32,6 +55,9 @@ func ValidateKernels(f results.KernelBenchFile) error {
 	if f.AutotunedTile <= 0 {
 		return invalid(path, "non-positive autotuned tile %d", f.AutotunedTile)
 	}
+	naive := map[int]float64{}        // n → naive GFLOPS
+	tiled := map[int]float64{}        // n → tiled GFLOPS
+	bestParallel := map[int]float64{} // n → best parallel-tiled GFLOPS
 	for i, e := range f.Entries {
 		id := fmt.Sprintf("entry %d (%s n=%d)", i, e.Kernel, e.N)
 		if e.Kernel == "" || e.N <= 0 {
@@ -48,6 +74,36 @@ func ValidateKernels(f results.KernelBenchFile) error {
 		}
 		if !e.Checked {
 			return invalid(path, "%s: equivalence check did not run", id)
+		}
+		switch e.Kernel {
+		case "naive":
+			naive[e.N] = e.GFLOPS
+		case "tiled":
+			tiled[e.N] = e.GFLOPS
+		case "parallel-tiled":
+			if e.GFLOPS > bestParallel[e.N] {
+				bestParallel[e.N] = e.GFLOPS
+			}
+		}
+	}
+	for n, t := range tiled {
+		if n < parallelGateMinN {
+			continue
+		}
+		p, ok := bestParallel[n]
+		if !ok {
+			return invalid(path, "no parallel-tiled entry at n=%d to gate against tiled", n)
+		}
+		if p < parallelVsTiledFloor*t {
+			return invalid(path, "best parallel-tiled at n=%d reaches %.3f GFLOPS, below %.0f%% of tiled's %.3f",
+				n, p, 100*parallelVsTiledFloor, t)
+		}
+	}
+	if nv, ok := naive[gateN]; ok {
+		p := bestParallel[gateN]
+		if p < parallelVsNaiveFloor*nv {
+			return invalid(path, "best parallel-tiled at n=%d reaches %.3f GFLOPS, below %.1fx the naive %.3f — the packed kernel regressed",
+				gateN, p, parallelVsNaiveFloor, nv)
 		}
 	}
 	return nil

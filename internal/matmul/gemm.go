@@ -1,0 +1,51 @@
+package matmul
+
+// packedMulRows computes rows [rowLo,rowHi) of C = A·B through the packed
+// register-blocked path: the caller supplies B already packed (shareable
+// read-only across row bands), the band's rows of A are repacked locally
+// into microM panels, and the micro-kernel fills one microM×microN tile of
+// C per call, accumulating entirely in registers over the full k extent.
+//
+// Loop order is column-block outer: one gemmNC-wide slab of packed B is
+// streamed against every row panel of the band before the next slab is
+// touched, so the slab (k×gemmNC values) stays cache-resident and B is
+// read from memory once per band rather than once per row panel.
+//
+// Edge tiles (band height not a multiple of microM, n not a multiple of
+// microN) run the same micro-kernel into a zero-padded scratch tile whose
+// valid region is then copied out, so the hot loop has no bounds logic.
+func packedMulRows(c, a, b *Matrix, rowLo, rowHi int, pb *packedB) {
+	k := a.Cols
+	n := b.Cols
+	rows := rowHi - rowLo
+	if rows <= 0 {
+		return
+	}
+	pa := make([]float64, ((rows+microM-1)/microM)*k*microM)
+	packARows(pa, a, rowLo, rowHi)
+
+	var tmp [microM * microN]float64
+	panelsPerBlock := gemmNC / microN
+	for jc := 0; jc < pb.panels; jc += panelsPerBlock {
+		jpMax := min(jc+panelsPerBlock, pb.panels)
+		for ip := 0; ip < rows; ip += microM {
+			paPanel := pa[(ip/microM)*k*microM : (ip/microM+1)*k*microM]
+			fullRows := ip+microM <= rows
+			for jp := jc; jp < jpMax; jp++ {
+				col := jp * microN
+				pbPanel := pb.panel(jp)
+				if fullRows && col+microN <= n {
+					microKernel(c.Data[(rowLo+ip)*c.Cols+col:], c.Cols, paPanel, pbPanel, k)
+					continue
+				}
+				microKernel(tmp[:], microN, paPanel, pbPanel, k)
+				h := min(microM, rows-ip)
+				w := min(microN, n-col)
+				for r := 0; r < h; r++ {
+					base := (rowLo + ip + r) * c.Cols
+					copy(c.Data[base+col:base+col+w], tmp[r*microN:r*microN+w])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package matmul
+
+// microKernel computes one microM×microN tile of C from packed panels:
+//
+//	dst[r*ldd + c] = Σ_k pa[k*microM+r] · pb[k*microN+c]
+//
+// overwriting dst (the packed path always starts a fresh accumulation per
+// output element — C = A·B, not C += A·B). Every output element's sum runs
+// over k in ascending order with a separate multiply and add per step, the
+// exact operation sequence of the Naive reference, so the packed kernels
+// are bit-identical to Naive — no tolerance, no summation-order caveat.
+// The variable points at the AVX2 assembly kernel when the CPU supports
+// it and at the pure-Go register-blocked kernel otherwise.
+var microKernel = microKernelGo
+
+// microKernelGo is the portable register-blocked micro-kernel: one output
+// row at a time, its microN accumulators held in locals so the compiler
+// keeps them in registers across the k loop. The re-slicing of pa/pb to
+// a fixed-stride window hoists the bounds checks out of the loop body.
+func microKernelGo(dst []float64, ldd int, pa, pb []float64, kc int) {
+	for r := 0; r < microM; r++ {
+		var a0, a1, a2, a3, a4, a5, a6, a7 float64
+		for kk := 0; kk < kc; kk++ {
+			ar := pa[kk*microM+r]
+			bk := pb[kk*microN : kk*microN+microN : kk*microN+microN]
+			a0 += ar * bk[0]
+			a1 += ar * bk[1]
+			a2 += ar * bk[2]
+			a3 += ar * bk[3]
+			a4 += ar * bk[4]
+			a5 += ar * bk[5]
+			a6 += ar * bk[6]
+			a7 += ar * bk[7]
+		}
+		row := dst[r*ldd : r*ldd+microN : r*ldd+microN]
+		row[0], row[1], row[2], row[3] = a0, a1, a2, a3
+		row[4], row[5], row[6], row[7] = a4, a5, a6, a7
+	}
+}

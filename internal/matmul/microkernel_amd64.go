@@ -1,0 +1,54 @@
+//go:build amd64 && !purego
+
+package matmul
+
+// The AVX2 micro-kernel keeps the whole 4×8 accumulator tile in YMM0–YMM7
+// across the k loop: per k step it loads the packed B row (two 4-wide
+// vectors), broadcasts the four packed A lanes, and issues separate VMULPD
+// and VADDPD per accumulator — deliberately not VFMADD, so every element's
+// value is the same correctly-rounded multiply-then-add chain the scalar
+// kernels produce and the packed path stays bit-identical to Naive.
+
+// microKernel4x8AVX2 is implemented in microkernel_amd64.s.
+//
+//go:noescape
+func microKernel4x8AVX2(dst *float64, ldd int, pa, pb *float64, kc int)
+
+// cpuidex and xgetbv0 are implemented in microkernel_amd64.s.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// hasAVX2 reports whether the CPU and OS support 256-bit AVX2: AVX +
+// OSXSAVE in CPUID.1:ECX, XMM+YMM state enabled in XCR0, and AVX2 in
+// CPUID.7.0:EBX.
+func hasAVX2() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	xlo, _ := xgetbv0()
+	if xlo&0x6 != 0x6 { // XMM and YMM state saved by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// microKernelAsm adapts the pointer-based assembly kernel to the slice
+// signature of microKernel. The slices are guaranteed non-empty by the
+// driver (kc ≥ 1, dst spans the full micro-tile).
+func microKernelAsm(dst []float64, ldd int, pa, pb []float64, kc int) {
+	microKernel4x8AVX2(&dst[0], ldd, &pa[0], &pb[0], kc)
+}
+
+func init() {
+	if hasAVX2() {
+		microKernel = microKernelAsm
+	}
+}

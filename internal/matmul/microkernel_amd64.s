@@ -1,0 +1,100 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func microKernel4x8AVX2(dst *float64, ldd int, pa, pb *float64, kc int)
+//
+// Register plan:
+//   Y0..Y7   4×8 accumulator tile (row r in Y(2r), Y(2r+1))
+//   Y8, Y9   packed B row: columns 0..3 and 4..7
+//   Y10      broadcast A lane
+//   Y11      multiply scratch
+// Separate VMULPD/VADDPD (not FMA) keep every element the same
+// correctly-rounded mul-then-add chain as the scalar reference, so the
+// packed path is bit-identical to Naive.
+TEXT ·microKernel4x8AVX2(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ ldd+8(FP), SI
+	MOVQ pa+16(FP), DX
+	MOVQ pb+24(FP), CX
+	MOVQ kc+32(FP), BX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	TESTQ BX, BX
+	JZ    store
+
+kloop:
+	VMOVUPD (CX), Y8    // B[k, 0:4]
+	VMOVUPD 32(CX), Y9  // B[k, 4:8]
+
+	VBROADCASTSD (DX), Y10  // A row 0
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y0, Y0
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y1, Y1
+
+	VBROADCASTSD 8(DX), Y10 // A row 1
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y2, Y2
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y3, Y3
+
+	VBROADCASTSD 16(DX), Y10 // A row 2
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y4, Y4
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y5, Y5
+
+	VBROADCASTSD 24(DX), Y10 // A row 3
+	VMULPD       Y8, Y10, Y11
+	VADDPD       Y11, Y6, Y6
+	VMULPD       Y9, Y10, Y11
+	VADDPD       Y11, Y7, Y7
+
+	ADDQ $32, DX // next packed A step (microM doubles)
+	ADDQ $64, CX // next packed B step (microN doubles)
+	DECQ BX
+	JNZ  kloop
+
+store:
+	SHLQ    $3, SI // row stride in bytes
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ    SI, DI
+	VMOVUPD Y2, (DI)
+	VMOVUPD Y3, 32(DI)
+	ADDQ    SI, DI
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	ADDQ    SI, DI
+	VMOVUPD Y6, (DI)
+	VMOVUPD Y7, 32(DI)
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

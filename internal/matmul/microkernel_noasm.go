@@ -1,0 +1,6 @@
+//go:build !amd64 || purego
+
+package matmul
+
+// Non-amd64 builds (and -tags purego) run the portable register-blocked
+// micro-kernel; microKernel keeps its microKernelGo default.

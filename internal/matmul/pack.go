@@ -1,0 +1,79 @@
+package matmul
+
+// Packed panel geometry of the register-blocked GEMM path. The micro-kernel
+// computes one microM×microN tile of C per call, so A is repacked into
+// microM-row panels and B into microN-column panels, both laid out so the
+// k loop walks each panel with unit stride:
+//
+//	A panel: pa[k*microM + r] = A[rowBase+r, k]   (microM values per k step)
+//	B panel: pb[k*microN + c] = B[k, colBase+c]   (microN values per k step)
+//
+// Panels at the matrix edge are zero-padded to the full micro-tile width;
+// the padded lanes compute harmless zeros that the driver never copies out.
+const (
+	// microM × microN is the register block: microM broadcast lanes of A
+	// against two 4-wide vectors of B — 8 vector accumulators that live in
+	// registers for the whole k loop (YMM0–YMM7 on the AVX2 path).
+	microM = 4
+	microN = 8
+	// gemmNC bounds the column block the driver keeps hot: one block of
+	// packed B spans k×gemmNC values (1 MiB at k=1024), sized to stay
+	// L2-resident while every row panel of the band streams against it.
+	gemmNC = 128
+)
+
+// packedB is B repacked into microN-column panels, shareable read-only
+// across the row bands of a parallel multiply.
+type packedB struct {
+	k, n   int       // logical dims of B
+	panels int       // ⌈n/microN⌉
+	data   []float64 // panels × k × microN, edge panels zero-padded
+}
+
+// panel returns the jp-th column panel (k×microN values, k-major).
+func (pb *packedB) panel(jp int) []float64 {
+	return pb.data[jp*pb.k*microN : (jp+1)*pb.k*microN]
+}
+
+// packB repacks B into micro-panels. One pass over B, write-mostly; the
+// copy costs O(k·n) against the O(m·k·n) multiply it accelerates.
+func packB(b *Matrix) *packedB {
+	k, n := b.Rows, b.Cols
+	panels := (n + microN - 1) / microN
+	pb := &packedB{k: k, n: n, panels: panels, data: make([]float64, panels*k*microN)}
+	for jp := 0; jp < panels; jp++ {
+		col := jp * microN
+		w := min(microN, n-col)
+		dst := pb.panel(jp)
+		for kk := 0; kk < k; kk++ {
+			src := b.Data[kk*n+col : kk*n+col+w]
+			d := dst[kk*microN : kk*microN+w : kk*microN+microN]
+			copy(d, src)
+		}
+	}
+	return pb
+}
+
+// packARows repacks rows [rowLo,rowHi) of A into microM-row panels, writing
+// into pa, which must hold ⌈rows/microM⌉·k·microM values. Rows past rowHi
+// inside the last panel are zero-padded.
+func packARows(pa []float64, a *Matrix, rowLo, rowHi int) {
+	k := a.Cols
+	rows := rowHi - rowLo
+	for ip := 0; ip < rows; ip += microM {
+		h := min(microM, rows-ip)
+		panel := pa[(ip/microM)*k*microM:]
+		for r := 0; r < microM; r++ {
+			if r >= h {
+				for kk := 0; kk < k; kk++ {
+					panel[kk*microM+r] = 0
+				}
+				continue
+			}
+			src := a.Data[(rowLo+ip+r)*k : (rowLo+ip+r)*k+k]
+			for kk, v := range src {
+				panel[kk*microM+r] = v
+			}
+		}
+	}
+}

@@ -2,72 +2,142 @@ package matmul
 
 import (
 	"errors"
+	"math"
+	"runtime"
 	"sync"
 	"time"
+
+	"nlfl/internal/stats"
 )
 
-// tileCandidates are the block sides the autotune probe races. They
-// bracket the L1/L2-resident working sets of contemporary cores: a bs×bs
-// float64 tile of each of A, B and C occupies 3·8·bs² bytes — 24 KiB at
-// bs=32, 1.5 MiB at bs=256.
+// tileCandidates are the column-tile sides the autotune probe races for
+// the outer-product fill kernels (OuterInto and the runtime's chunk
+// fills): the tile bounds the b̅ slice each pass streams against a row
+// strip, so the candidates bracket L1-to-L2-resident working sets.
 var tileCandidates = []int{32, 64, 128, 256}
 
-// probeN is the matrix side the autotune probe multiplies. Large enough
+// probeN is the outer-product side the autotune probe fills. Large enough
 // that the fastest candidate wins by cache behaviour rather than loop
 // overhead, small enough that the one-off probe stays in the tens of
 // milliseconds.
-const probeN = 192
+const probeN = 1024
 
 var (
 	tileOnce sync.Once
 	tileSize int
 )
 
-// AutotuneTile returns the tile side the tiled kernels use, measuring it
-// once per process: each candidate multiplies the same seeded probeN×probeN
-// pair through the blocked kernel and the fastest side wins. The result is
-// cached — every later call is a plain load.
-func AutotuneTile() int {
-	tileOnce.Do(func() {
-		a := Random(probeN, probeN, 7)
-		b := Random(probeN, probeN, 11)
-		c := New(probeN, probeN)
-		best, bestTime := tileCandidates[0], time.Duration(1<<62)
-		for _, bs := range tileCandidates {
-			for i := range c.Data {
-				c.Data[i] = 0
-			}
-			start := time.Now()
-			mulRowsInto(c, a, b, 0, probeN, bs)
-			if d := time.Since(start); d < bestTime {
-				best, bestTime = bs, d
+// pickTile races the candidates through sample (seconds for one run at
+// the given tile side) and returns the fastest. Each candidate gets one
+// discarded warm-up run — the first touch of the probe buffers pays page
+// faults and cache fills that have nothing to do with the tile size, and
+// used to penalize whichever candidate ran first — and is then scored by
+// the best of three timed runs, so a single noisy sample cannot flip the
+// winner.
+func pickTile(cands []int, sample func(bs int) float64) int {
+	best, bestT := cands[0], math.Inf(1)
+	for _, bs := range cands {
+		sample(bs) // warm-up, discarded
+		t := math.Inf(1)
+		for rep := 0; rep < 3; rep++ {
+			if s := sample(bs); s < t {
+				t = s
 			}
 		}
-		tileSize = best
+		if t < bestT {
+			best, bestT = bs, t
+		}
+	}
+	return best
+}
+
+// AutotuneTile returns the column-tile side the outer-product fill kernels
+// use, measuring it once per process: each candidate fills the same seeded
+// probeN×probeN outer product and the fastest side wins (warm-up plus
+// best-of-three per candidate, see pickTile). The result is cached — every
+// later call is a plain load.
+func AutotuneTile() int {
+	tileOnce.Do(func() {
+		r := stats.NewRNG(7)
+		av := make([]float64, probeN)
+		bv := make([]float64, probeN)
+		for i := range av {
+			av[i] = 2*r.Float64() - 1
+			bv[i] = 2*r.Float64() - 1
+		}
+		c := New(probeN, probeN)
+		tileSize = pickTile(tileCandidates, func(bs int) float64 {
+			start := time.Now()
+			outerIntoTile(c, av, bv, 0, probeN, 0, probeN, bs)
+			return time.Since(start).Seconds()
+		})
 	})
 	return tileSize
 }
 
-// Tiled computes C = A·B with the cache-blocked kernel at the autotuned
-// tile size. Inputs smaller than one tile in every dimension fall back to
-// the naive reference kernel — at that scale the whole problem is
-// cache-resident and the reference loop is both correct and fastest.
+// smallMulWork is the m·k·n product below which the packed path falls
+// back to the naive reference: at that scale the whole problem is
+// cache-resident and packing overhead is pure loss. 48³ ≈ the point where
+// packing starts paying for itself on the bench machine.
+const smallMulWork = 48 * 48 * 48
+
+// parallelMinWork is the m·k·n product below which ParallelTiled runs the
+// serial packed kernel instead of spawning band goroutines. The committed
+// BENCH_kernels artifacts showed parallel-tiled losing to single-threaded
+// at n=128 — goroutine spawn plus band-boundary cache traffic outweigh
+// the split until roughly 2·128³ flops — so sizes up to 128 stay serial.
+const parallelMinWork = 128 * 128 * 128
+
+// mulWork is the classical operation-count scale m·k·n of A·B.
+func mulWork(a, b *Matrix) int { return a.Rows * a.Cols * b.Cols }
+
+// Tiled computes C = A·B with the packed register-blocked kernel: B is
+// repacked into microN-column panels, A into microM-row panels, and a
+// 4×8 micro-kernel (AVX2 assembly where available, portable Go
+// otherwise) accumulates each output tile entirely in registers. Inputs
+// below smallMulWork fall back to the naive reference kernel. The result
+// is bit-identical to Naive on every path — see microKernel.
 func Tiled(a, b *Matrix) (*Matrix, error) {
 	if err := checkMul(a, b); err != nil {
 		return nil, err
 	}
-	bs := AutotuneTile()
-	if a.Rows <= bs && a.Cols <= bs && b.Cols <= bs {
+	if mulWork(a, b) < smallMulWork {
 		return Naive(a, b)
 	}
 	c := New(a.Rows, b.Cols)
-	mulRowsInto(c, a, b, 0, a.Rows, bs)
+	packedMulRows(c, a, b, 0, a.Rows, packB(b))
 	return c, nil
 }
 
-// ParallelTiled computes C = A·B splitting row bands across `workers`
-// goroutines, each band running the tiled kernel at the autotuned tile
-// size.
+// rowBands splits rows into `workers` contiguous bands with interior
+// boundaries aligned down to microM multiples, so no micro-tile straddles
+// two bands (which would make two goroutines write the same cache lines
+// of C) and band sizes stay even to within one micro-tile. Returned
+// boundaries are strictly increasing; empty bands are dropped.
+func rowBands(rows, workers int) []int {
+	if workers > rows {
+		workers = rows
+	}
+	cuts := make([]int, 0, workers+1)
+	cuts = append(cuts, 0)
+	for w := 1; w < workers; w++ {
+		cut := (w * rows / workers) / microM * microM
+		if cut > cuts[len(cuts)-1] {
+			cuts = append(cuts, cut)
+		}
+	}
+	if rows > cuts[len(cuts)-1] {
+		cuts = append(cuts, rows)
+	}
+	return cuts
+}
+
+// ParallelTiled computes C = A·B splitting microM-aligned row bands
+// across `workers` goroutines, each band running the packed
+// register-blocked kernel against a shared read-only packed copy of B.
+// It falls back to the serial packed kernel when splitting cannot help:
+// one worker, a single available CPU (GOMAXPROCS=1 — goroutines would
+// only add scheduling overhead), or total work below parallelMinWork.
 func ParallelTiled(a, b *Matrix, workers int) (*Matrix, error) {
 	if err := checkMul(a, b); err != nil {
 		return nil, err
@@ -75,52 +145,29 @@ func ParallelTiled(a, b *Matrix, workers int) (*Matrix, error) {
 	if workers <= 0 {
 		return nil, errors.New("matmul: need at least one worker")
 	}
-	if workers > a.Rows {
-		workers = a.Rows
+	if mulWork(a, b) < smallMulWork {
+		return Naive(a, b)
 	}
-	bs := AutotuneTile()
+	serial := workers == 1 ||
+		runtime.GOMAXPROCS(0) == 1 ||
+		mulWork(a, b) <= parallelMinWork
+	cuts := rowBands(a.Rows, workers)
 	c := New(a.Rows, b.Cols)
+	pb := packB(b)
+	if serial || len(cuts) < 3 {
+		packedMulRows(c, a, b, 0, a.Rows, pb)
+		return c, nil
+	}
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * a.Rows / workers
-		hi := (w + 1) * a.Rows / workers
-		if lo == hi {
-			continue
-		}
+	for i := 0; i+1 < len(cuts); i++ {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			mulRowsInto(c, a, b, lo, hi, bs)
-		}(lo, hi)
+			packedMulRows(c, a, b, lo, hi, pb)
+		}(cuts[i], cuts[i+1])
 	}
 	wg.Wait()
 	return c, nil
-}
-
-// mulRowsInto accumulates rows [rowLo, rowHi) of A·B into the matching
-// rows of c, blocking the k and j loops into bs-sided tiles so the active
-// B panel stays cache-resident while a row strip of A streams through.
-func mulRowsInto(c, a, b *Matrix, rowLo, rowHi, bs int) {
-	for kk := 0; kk < a.Cols; kk += bs {
-		kMax := min(kk+bs, a.Cols)
-		for jj := 0; jj < b.Cols; jj += bs {
-			jMax := min(jj+bs, b.Cols)
-			for i := rowLo; i < rowHi; i++ {
-				aRow := a.Data[i*a.Cols:]
-				cRow := c.Data[i*c.Cols:]
-				for k := kk; k < kMax; k++ {
-					aik := aRow[k]
-					if aik == 0 {
-						continue
-					}
-					bRow := b.Data[k*b.Cols:]
-					for j := jj; j < jMax; j++ {
-						cRow[j] += aik * bRow[j]
-					}
-				}
-			}
-		}
-	}
 }
 
 // OuterInto fills the [rowLo,rowHi)×[colLo,colHi) rectangle of c with the
@@ -132,7 +179,12 @@ func mulRowsInto(c, a, b *Matrix, rowLo, rowHi, bs int) {
 // updates on (rowHi-rowLo)+(colHi-colLo) input elements — the non-linear
 // ratio the paper's communication analysis is about.
 func OuterInto(c *Matrix, a, b []float64, rowLo, rowHi, colLo, colHi int) {
-	bs := AutotuneTile()
+	outerIntoTile(c, a, b, rowLo, rowHi, colLo, colHi, AutotuneTile())
+}
+
+// outerIntoTile is OuterInto at an explicit tile side — the autotune
+// probe races it directly.
+func outerIntoTile(c *Matrix, a, b []float64, rowLo, rowHi, colLo, colHi, bs int) {
 	for jj := colLo; jj < colHi; jj += bs {
 		jMax := min(jj+bs, colHi)
 		bTile := b[jj:jMax]

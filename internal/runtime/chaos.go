@@ -293,6 +293,7 @@ func (r *runner) die(w int, cs *chaosState, cq *chaosQueue, inflightData float64
 // reclaimed by die.
 func (r *runner) chaosWorker(w int, cs *chaosState, cq *chaosQueue) {
 	bucket := newTokenBucket(r.opts.Speeds[w]*r.rate, r.opts.Burst)
+	led := &r.ledgers[w]
 	backoffBase := r.opts.Chaos.BackoffBase
 	if backoffBase <= 0 {
 		backoffBase = 1e-3
@@ -301,7 +302,11 @@ func (r *runner) chaosWorker(w int, cs *chaosState, cq *chaosQueue) {
 	if backoffMax < backoffBase {
 		backoffMax = math.Max(backoffBase, 50e-3)
 	}
-	var aBuf, bBuf, scratch []float64
+	// Sized once from the plan's largest chunk; replanned pieces are
+	// sub-rectangles of lost chunks, so the bound survives reclamation.
+	aBuf := make([]float64, 0, r.maxRowSpan)
+	bBuf := make([]float64, 0, r.maxColSpan)
+	scratch := make([]float64, 0, r.maxCells)
 
 	for {
 		if r.ctx.Err() != nil {
@@ -373,7 +378,8 @@ func (r *runner) chaosWorker(w int, cs *chaosState, cq *chaosQueue) {
 			r.live.Add(w, trace.Span{Kind: trace.Comm, Start: t0, End: t1, Data: data, Task: c.Task, Outcome: trace.Dropped})
 			r.live.Mark(trace.Marker{Kind: trace.MarkDrop, Worker: w, Time: t1, Note: fmt.Sprintf("task %d", c.Task)})
 			r.perData[w] += data
-			r.noteRetry(data)
+			led.retried++
+			led.wastedData += data
 			retries++
 			if retries > r.opts.Chaos.MaxRetries {
 				r.fail(fmt.Errorf("%w: worker %d lost chunk %d on %d consecutive transfer attempts", ErrTransferFailed, w, c.Task, retries))
@@ -434,13 +440,18 @@ func (r *runner) chaosWorker(w int, cs *chaosState, cq *chaosQueue) {
 		won, specWin := cq.commit(c.Task, w)
 		if !won {
 			r.live.Add(w, trace.Span{Kind: trace.Compute, Start: t0, End: t1, Work: cells, Task: c.Task, Outcome: trace.Wasted})
-			r.noteWaste(data, cells)
+			led.wastedData += data
+			led.wastedWork += cells
 			continue
 		}
 		commitChunk(r.out, scratch, c)
 		r.live.Add(w, trace.Span{Kind: trace.Compute, Start: t0, End: t1, Work: cells, Task: c.Task})
 		r.perCells[w] += cells
-		r.noteCommit(c, data, specWin)
+		led.committed = append(led.committed, c)
+		led.committedVolume += data
+		if specWin {
+			led.specWins++
+		}
 	}
 }
 

@@ -10,11 +10,16 @@ import (
 // original holder plus a speculative copy); the lease tracks who holds
 // it and since when, so the queue can arbitrate first-writer-wins
 // commits, reclaim a dead holder's work, and pick speculation victims.
+// Holders are stored inline — a chunk is never issued to more than two
+// workers (the holder plus one speculative copy) — and retired leases are
+// recycled through the queue's free list, so the steady-state lease churn
+// allocates nothing.
 type chaosLease struct {
-	c       Chunk
-	holders []int
-	first   int     // worker the current lease generation was first issued to
-	since   float64 // live-clock instant of that first issue
+	c        Chunk
+	holders  [2]int
+	nholders int
+	first    int     // worker the current lease generation was first issued to
+	since    float64 // live-clock instant of that first issue
 }
 
 // queueState is chaosQueue.next's verdict for a polling worker.
@@ -37,7 +42,7 @@ const (
 // lease churn is per-chunk, not per-cell, so the lock is far off the
 // compute path (and the fast path never constructs a chaosQueue at all).
 //
-// Owned (het) backlogs live here rather than in workQueue.private
+// Owned (het) backlogs live here rather than in workQueue's private lanes
 // because reclamation mutates them concurrently: a survivor may be
 // appended replanned rectangles while it drains its backlog.
 type chaosQueue struct {
@@ -52,6 +57,7 @@ type chaosQueue struct {
 	cellsLeft int
 	nextTask  int // id allocator for replanned pieces
 	specAfter float64
+	freeLease []*chaosLease // retired lease records, reused by lease()
 }
 
 // newChaosQueue builds the resilient queue. specAfter is the speculation
@@ -106,7 +112,7 @@ func (cq *chaosQueue) next(w int, now float64) (c Chunk, st queueState) {
 	if cq.specAfter > 0 {
 		var best *chaosLease
 		for _, l := range cq.leases {
-			if len(l.holders) != 1 || l.holders[0] == w {
+			if l.nholders != 1 || l.holders[0] == w {
 				continue // already speculated, or our own chunk
 			}
 			if now-l.since < cq.specAfter {
@@ -119,7 +125,8 @@ func (cq *chaosQueue) next(w int, now float64) (c Chunk, st queueState) {
 			}
 		}
 		if best != nil {
-			best.holders = append(best.holders, w)
+			best.holders[best.nholders] = w
+			best.nholders++
 			return best.c, queueGot
 		}
 	}
@@ -127,7 +134,24 @@ func (cq *chaosQueue) next(w int, now float64) (c Chunk, st queueState) {
 }
 
 func (cq *chaosQueue) lease(c Chunk, w int, now float64) {
-	cq.leases[c.Task] = &chaosLease{c: c, holders: []int{w}, first: w, since: now}
+	var l *chaosLease
+	if k := len(cq.freeLease); k > 0 {
+		l = cq.freeLease[k-1]
+		cq.freeLease = cq.freeLease[:k-1]
+	} else {
+		l = new(chaosLease)
+	}
+	*l = chaosLease{c: c, first: w, since: now}
+	l.holders[0] = w
+	l.nholders = 1
+	cq.leases[c.Task] = l
+}
+
+// retire removes a lease from the table and returns its record to the
+// free list. Callers must hold cq.mu and must not touch l afterwards.
+func (cq *chaosQueue) retire(task int, l *chaosLease) {
+	delete(cq.leases, task)
+	cq.freeLease = append(cq.freeLease, l)
 }
 
 // commit resolves the first-writer-wins race for a finished copy of
@@ -142,9 +166,11 @@ func (cq *chaosQueue) commit(task, w int) (won, specWin bool) {
 	}
 	l := cq.leases[task]
 	cq.committed[task] = true
-	delete(cq.leases, task)
-	cq.cellsLeft -= l.c.Cells()
-	return true, l.first != w
+	cells := l.c.Cells()
+	specWin = l.first != w
+	cq.retire(task, l)
+	cq.cellsLeft -= cells
+	return true, specWin
 }
 
 // reclaim removes dead worker w from the pool and re-enqueues everything
@@ -168,16 +194,17 @@ func (cq *chaosQueue) reclaim(w int, maxRecover int, replan func(Chunk) []Chunk)
 	lost := append([]Chunk(nil), cq.private[w][cq.phead[w]:]...)
 	cq.phead[w] = len(cq.private[w])
 	for task, l := range cq.leases {
-		keep := l.holders[:0]
-		for _, h := range l.holders {
+		keep := 0
+		for _, h := range l.holders[:l.nholders] {
 			if h != w {
-				keep = append(keep, h)
+				l.holders[keep] = h
+				keep++
 			}
 		}
-		l.holders = keep
-		if len(l.holders) == 0 {
-			delete(cq.leases, task)
+		l.nholders = keep
+		if l.nholders == 0 {
 			lost = append(lost, l.c)
+			cq.retire(task, l)
 		}
 	}
 	// Map iteration order is random; sort so recovery is deterministic.

@@ -21,11 +21,17 @@ func (c Chunk) Cells() int { return (c.RowHi - c.RowLo) * (c.ColHi - c.ColLo) }
 // row span plus its column span, the (w+h)·N accounting of the paper.
 func (c Chunk) Data() int { return (c.RowHi - c.RowLo) + (c.ColHi - c.ColLo) }
 
-// shard is one lock-striped segment of the shared queue.
+// shard is one lock-striped segment of the shared queue. Shards live in
+// one contiguous array (not behind per-shard pointers), so each is padded
+// out to 128 bytes: head and the mutex word are written on every pop, and
+// with one stripe per worker adjacent shards belong to different workers —
+// unpadded they would share cache lines and every uncontended pop would
+// still pay cross-core coherence traffic.
 type shard struct {
 	mu    sync.Mutex
 	items []Chunk
 	head  int
+	_     [88]byte // mu(8) + items(24) + head(8) = 40 → pad to 128
 }
 
 // pop takes the next chunk off the shard, if any.
@@ -40,14 +46,23 @@ func (s *shard) pop() (Chunk, bool) {
 	return c, true
 }
 
+// privateLane is worker w's owned backlog. Only its owner advances head,
+// so the lane needs no lock — but lanes sit in one contiguous array, so
+// each is padded to 128 bytes to keep one worker's head bumps from
+// false-sharing a line with its neighbour's.
+type privateLane struct {
+	items []Chunk
+	head  int
+	_     [96]byte // items(24) + head(8) = 32 → pad to 128
+}
+
 // workQueue distributes chunks to workers: owned chunks sit in per-worker
-// private lists (only their owner touches them, no locking), ownerless
+// private lanes (only their owner touches them, no locking), ownerless
 // chunks are striped round-robin across shards that any worker may drain —
 // home shard first, then stealing from the others.
 type workQueue struct {
-	shards  []*shard
-	private [][]Chunk // private[w] is worker w's owned backlog (LIFO-free, index-advanced)
-	phead   []int
+	shards []shard
+	lanes  []privateLane
 }
 
 // newWorkQueue stripes the chunks over `shards` segments for `workers`
@@ -58,20 +73,16 @@ func newWorkQueue(chunks []Chunk, workers, shards int) *workQueue {
 		shards = 1
 	}
 	q := &workQueue{
-		shards:  make([]*shard, shards),
-		private: make([][]Chunk, workers),
-		phead:   make([]int, workers),
-	}
-	for i := range q.shards {
-		q.shards[i] = &shard{}
+		shards: make([]shard, shards),
+		lanes:  make([]privateLane, workers),
 	}
 	next := 0
 	for _, c := range chunks {
 		if c.Owner >= 0 && c.Owner < workers {
-			q.private[c.Owner] = append(q.private[c.Owner], c)
+			q.lanes[c.Owner].items = append(q.lanes[c.Owner].items, c)
 			continue
 		}
-		s := q.shards[next%shards]
+		s := &q.shards[next%shards]
 		s.items = append(s.items, c)
 		next++
 	}
@@ -85,21 +96,22 @@ func newWorkQueue(chunks []Chunk, workers, shards int) *workQueue {
 // reclaimed work is drained, so stealers keep scanning it until then and
 // skip it (an O(1) mutex probe) only afterwards.
 func (q *workQueue) push(home int, cs ...Chunk) {
-	s := q.shards[home%len(q.shards)]
+	s := &q.shards[home%len(q.shards)]
 	s.mu.Lock()
 	s.items = append(s.items, cs...)
 	s.mu.Unlock()
 }
 
-// pop returns worker w's next chunk: private backlog first, then the home
+// pop returns worker w's next chunk: private lane first, then the home
 // shard, then work stealing in ring order. ok=false means the whole queue
 // is drained for this worker — though after a reclamation push a stripe
 // that once read empty can refill, so resilient callers re-poll rather
 // than trusting one false.
 func (q *workQueue) pop(w int) (Chunk, bool) {
-	if q.phead[w] < len(q.private[w]) {
-		c := q.private[w][q.phead[w]]
-		q.phead[w]++
+	lane := &q.lanes[w]
+	if lane.head < len(lane.items) {
+		c := lane.items[lane.head]
+		lane.head++
 		return c, true
 	}
 	n := len(q.shards)

@@ -4,9 +4,12 @@
 package runtime
 
 import (
+	stdruntime "runtime"
 	"sync"
 	"testing"
 
+	"nlfl/internal/faults"
+	"nlfl/internal/matmul"
 	"nlfl/internal/stats"
 	"nlfl/internal/trace"
 )
@@ -166,5 +169,100 @@ func TestChaosQueueStealDuringReclaim(t *testing.T) {
 		if count != 1 {
 			t.Errorf("task %d committed %d times", task, count)
 		}
+	}
+}
+
+// TestHighParallelismAffinityStealStress runs the padded affinity queue
+// at a GOMAXPROCS well above the machine's core count: twelve workers on
+// sixteen scheduler threads, one home stripe each (the default), prefetch
+// fetchers racing the compute loops into trace.Live. Fast workers drain
+// their own stripes then cross into each other's via the ring steal —
+// exactly the path the shard padding and contiguous layout rewrote.
+// Meaningful under -race.
+func TestHighParallelismAffinityStealStress(t *testing.T) {
+	defer stdruntime.GOMAXPROCS(stdruntime.GOMAXPROCS(16))
+	const (
+		n       = 128
+		workers = 12
+	)
+	r := stats.NewRNG(53)
+	a := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, n)
+	b := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, n)
+	chunks, err := GridChunks(n, 16) // 256 chunks over 12 home stripes
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &StrategyPlan{Strategy: "hom", N: n, Chunks: chunks, Grid: 16, K: 1,
+		Predicted: float64(2 * n * 16)}
+	speeds := make([]float64, workers)
+	for i := range speeds {
+		speeds[i] = 1 + float64(i%3) // unequal speeds force cross-stripe steals
+	}
+	rep, err := Run(plan, a, b, Options{
+		Speeds:        speeds,
+		WorkPerSecond: 5e7,
+		Prefetch:      true,
+		VerifyEvery:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := trace.Check(rep.Trace, rep.Expect(1e-9)); len(vs) != 0 {
+		t.Errorf("trace violations: %v", vs)
+	}
+}
+
+// TestHighParallelismCrashReclaimStress is the chaos flavor of the same
+// stress: two of twelve workers crash mid-run, so reclamation pushes land
+// on dead workers' home stripes while the ten survivors' ring steals scan
+// them concurrently — the steal-during-reclaim interleaving on the padded
+// contiguous shard array, under a 16-thread scheduler. Meaningful under
+// -race.
+func TestHighParallelismCrashReclaimStress(t *testing.T) {
+	defer stdruntime.GOMAXPROCS(stdruntime.GOMAXPROCS(16))
+	const (
+		n       = 128
+		workers = 12
+	)
+	r := stats.NewRNG(59)
+	a := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, n)
+	b := stats.SampleN(stats.Uniform{Lo: -1, Hi: 1}, r, n)
+	chunks, err := GridChunks(n, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &StrategyPlan{Strategy: "hom", N: n, Chunks: chunks, Grid: 16, K: 1,
+		Predicted: float64(2 * n * 16)}
+	speeds := make([]float64, workers)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	rep, err := Run(plan, a, b, Options{
+		Speeds:        speeds,
+		WorkPerSecond: 2e6,
+		Burst:         1,
+		VerifyEvery:   11,
+		Chaos: Chaos{
+			Scenario: faults.Scenario{Events: []faults.Event{
+				{Kind: faults.Crash, Worker: 2, Time: 0.004},
+				{Kind: faults.Crash, Worker: 9, Time: 0.006},
+			}},
+			MaxRetries: 4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := matmul.VectorOuter(a, b); !want.Equal(rep.Out, 0) {
+		t.Errorf("product differs from the reference kernel")
+	}
+	if vs := trace.Check(rep.Trace, rep.Expect(1e-9)); len(vs) != 0 {
+		t.Errorf("trace violations: %v", vs)
+	}
+	if rep.DegradedWorkers != 2 {
+		t.Errorf("DegradedWorkers = %d, want 2", rep.DegradedWorkers)
+	}
+	if rep.DataVolume != rep.CommittedVolume+rep.WastedData {
+		t.Errorf("shipping ledger leaks: %v ≠ %v + %v", rep.DataVolume, rep.CommittedVolume, rep.WastedData)
 	}
 }

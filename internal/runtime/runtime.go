@@ -33,7 +33,9 @@ type Options struct {
 	// sub-second benches yet slow enough that the throttle (not the real
 	// CPU) sets the pace, so relative speeds are honored even on one core.
 	WorkPerSecond float64
-	// Shards is the shared-queue stripe count; 0 selects min(workers, 8).
+	// Shards is the shared-queue stripe count; 0 selects one stripe per
+	// worker, so each worker's home stripe is its own — pops are
+	// uncontended until its stripe drains and stealing begins.
 	Shards int
 	// Burst is the token-bucket capacity in cells; 0 selects 5 ms of
 	// credit at the worker's rate.
@@ -231,19 +233,56 @@ type runner struct {
 	perData  []float64 // written only by each worker's own goroutine
 	perCells []float64
 
+	// Largest chunk extents in the plan — the workers size their transfer
+	// and scratch buffers once from these, so the per-chunk loop never
+	// allocates.
+	maxRowSpan, maxColSpan, maxCells int
+
+	// ledgers[w] is worker w's private recovery ledger (chaos runs only);
+	// each worker writes only its own entry and the entries are merged
+	// into the totals below after wg.Wait, so the hot path takes no lock.
+	ledgers []chaosLedger
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
 	mu  sync.Mutex
 	err error
-	// chaos ledgers (mu-guarded)
+	// chaos totals (mu-guarded during the run for the cold reclamation
+	// path; the per-worker ledgers fold in after the pool stops)
 	committedChunks             []Chunk
 	committedVolume, wastedData float64
 	wastedWork, lostWork        float64
 	replanExtra                 float64
 	reclaimedCells              int
 	retried, specWins, degraded int
+}
+
+// chaosLedger is one worker's lock-free recovery ledger. Ledgers sit in a
+// contiguous array, so each is padded to 128 bytes: every chunk bumps its
+// owner's counters and unpadded neighbours would false-share cache lines.
+type chaosLedger struct {
+	committed         []Chunk
+	committedVolume   float64
+	wastedData        float64
+	wastedWork        float64
+	retried, specWins int
+	_                 [48]byte // 24 + 3×8 + 2×8 = 64 → pad to 128
+}
+
+// merge folds the per-worker ledgers into the mu-guarded totals. Call
+// only after every worker goroutine has stopped.
+func (r *runner) mergeLedgers() {
+	for i := range r.ledgers {
+		led := &r.ledgers[i]
+		r.committedChunks = append(r.committedChunks, led.committed...)
+		r.committedVolume += led.committedVolume
+		r.wastedData += led.wastedData
+		r.wastedWork += led.wastedWork
+		r.retried += led.retried
+		r.specWins += led.specWins
+	}
 }
 
 // fail latches the first failure and cancels every worker.
@@ -262,33 +301,12 @@ func (r *runner) runErr() error {
 	return r.err
 }
 
-func (r *runner) noteRetry(data float64) {
-	r.mu.Lock()
-	r.retried++
-	r.wastedData += data
-	r.mu.Unlock()
-}
-
-func (r *runner) noteWaste(data, cells float64) {
-	r.mu.Lock()
-	r.wastedData += data
-	r.wastedWork += cells
-	r.mu.Unlock()
-}
-
+// noteLost records cells destroyed mid-chunk by a crash. It stays
+// mu-guarded: it runs once per death, immediately before the (also
+// mu-guarded) reclamation in die, never on the steady-state path.
 func (r *runner) noteLost(cells float64) {
 	r.mu.Lock()
 	r.lostWork += cells
-	r.mu.Unlock()
-}
-
-func (r *runner) noteCommit(c Chunk, data float64, specWin bool) {
-	r.mu.Lock()
-	r.committedChunks = append(r.committedChunks, c)
-	r.committedVolume += data
-	if specWin {
-		r.specWins++
-	}
 	r.mu.Unlock()
 }
 
@@ -386,36 +404,49 @@ func RunContext(ctx context.Context, plan *StrategyPlan, a, b []float64, opts Op
 	}
 	shards := opts.Shards
 	if shards <= 0 {
-		shards = min(p, 8)
+		shards = p // home-stripe affinity: worker w owns stripe w
 	}
 	planVolume := 0.0
+	maxRowSpan, maxColSpan, maxCells := 0, 0, 0
 	for _, c := range plan.Chunks {
 		planVolume += float64(c.Data())
+		maxRowSpan = max(maxRowSpan, c.RowHi-c.RowLo)
+		maxColSpan = max(maxColSpan, c.ColHi-c.ColLo)
+		maxCells = max(maxCells, c.Cells())
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	r := &runner{
-		opts:     opts,
-		a:        a,
-		b:        b,
-		n:        n,
-		rate:     rate,
-		out:      matmul.New(n, n),
-		live:     trace.NewLive(p),
-		net:      newNetLink(topo, p, nil),
-		perData:  make([]float64, p),
-		perCells: make([]float64, p),
-		ctx:      runCtx,
-		cancel:   cancel,
+		opts:       opts,
+		a:          a,
+		b:          b,
+		n:          n,
+		rate:       rate,
+		out:        matmul.New(n, n),
+		live:       trace.NewLive(p),
+		net:        newNetLink(topo, p, nil),
+		perData:    make([]float64, p),
+		perCells:   make([]float64, p),
+		maxRowSpan: maxRowSpan,
+		maxColSpan: maxColSpan,
+		maxCells:   maxCells,
+		ctx:        runCtx,
+		cancel:     cancel,
 	}
 	if r.net != nil {
 		r.net.now = r.live.Now
 	}
+	// A clean run records exactly two spans per chunk (Comm + Compute);
+	// reserving that up front keeps span recording allocation-free on the
+	// hot path. Chaos retries and speculative copies can exceed the
+	// reservation — those appends grow the slice the usual amortized way.
+	r.live.Reserve(2*len(plan.Chunks)+4, 0)
 
 	var body func(int)
 	var cq *chaosQueue
 	if chaosOn {
+		r.ledgers = make([]chaosLedger, p)
 		cs := compileChaos(opts.Chaos, p)
 		cq = newChaosQueue(plan.Chunks, p, shards, opts.Chaos.SpeculateAfter)
 		if r.net != nil {
@@ -431,6 +462,7 @@ func RunContext(ctx context.Context, plan *StrategyPlan, a, b []float64, opts Op
 		go r.guard(w, body)
 	}
 	r.wg.Wait()
+	r.mergeLedgers()
 
 	if err := r.runErr(); err != nil {
 		return nil, err
@@ -525,13 +557,27 @@ func RunContext(ctx context.Context, plan *StrategyPlan, a, b []float64, opts Op
 	return rep, nil
 }
 
+// fetchReq asks the worker's fetcher goroutine to ship one chunk into
+// buffer slot `slot`.
+type fetchReq struct {
+	c    Chunk
+	slot int
+}
+
 // fastWorker is the fault-free worker loop (the original hot path — no
-// leases, no locks beyond the queue stripes). Cancellation is honored at
-// chunk boundaries.
+// leases, no locks beyond the queue stripes). The per-chunk loop is
+// allocation-free: both transfer buffers are sized once from the plan's
+// largest chunk, and prefetch runs on one persistent fetcher goroutine
+// per worker instead of spawning a goroutine (and its result channel) per
+// chunk. Cancellation is honored at chunk boundaries.
 func (r *runner) fastWorker(w int, queue *workQueue) {
 	opts := r.opts
 	bucket := newTokenBucket(opts.Speeds[w]*r.rate, opts.Burst)
 	var bufs [2]struct{ a, b []float64 }
+	for i := range bufs {
+		bufs[i].a = make([]float64, 0, r.maxRowSpan)
+		bufs[i].b = make([]float64, 0, r.maxColSpan)
+	}
 
 	// fetch ships the chunk's inputs into buffer slot `slot`: the only
 	// elements this worker may read are the copies it just received.
@@ -568,6 +614,32 @@ func (r *runner) fastWorker(w int, queue *workQueue) {
 		return staged{c: c, aBuf: bb.a, bBuf: bb.b}
 	}
 
+	// With prefetch, one persistent fetcher goroutine per worker ships
+	// chunk inputs on request. The request/result channels live for the
+	// whole run — the old per-chunk `go fetch(...)` + fresh result channel
+	// was two heap allocations per chunk. At most one request is ever in
+	// flight (the worker sends only after receiving the previous result),
+	// so the single-buffered result channel can never block the fetcher
+	// against a departed worker.
+	var reqCh chan fetchReq
+	var resCh chan staged
+	if opts.Prefetch {
+		reqCh = make(chan fetchReq)
+		resCh = make(chan staged, 1)
+		defer close(reqCh) // stops the fetcher when the worker leaves
+		go func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					r.fail(fmt.Errorf("%w: worker %d prefetch panicked: %v", ErrWorkerFailed, w, rec))
+					close(resCh)
+				}
+			}()
+			for req := range reqCh {
+				resCh <- fetch(req.c, req.slot)
+			}
+		}()
+	}
+
 	c, ok := queue.pop(w)
 	if !ok {
 		return
@@ -583,21 +655,11 @@ func (r *runner) fastWorker(w int, queue *workQueue) {
 		}
 		// Claim and start shipping the next chunk before computing the
 		// current one, so the transfer hides under the compute span.
-		var pre chan staged
 		var next Chunk
 		var more bool
 		if opts.Prefetch {
 			if next, more = queue.pop(w); more {
-				pre = make(chan staged, 1)
-				go func(c Chunk, slot int) {
-					defer func() {
-						if rec := recover(); rec != nil {
-							r.fail(fmt.Errorf("%w: worker %d prefetch panicked: %v", ErrWorkerFailed, w, rec))
-							close(pre)
-						}
-					}()
-					pre <- fetch(c, slot)
-				}(next, 1-cur)
+				reqCh <- fetchReq{c: next, slot: 1 - cur}
 			}
 		}
 
@@ -617,8 +679,8 @@ func (r *runner) fastWorker(w int, queue *workQueue) {
 				return
 			}
 			var ok2 bool
-			if s, ok2 = <-pre; !ok2 {
-				return // prefetch goroutine died; the run is already failed
+			if s, ok2 = <-resCh; !ok2 {
+				return // the fetcher died; the run is already failed
 			}
 			cur = 1 - cur
 		} else {

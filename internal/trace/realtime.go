@@ -27,6 +27,28 @@ func NewLive(p int) *Live {
 // the time base every recorded span must use.
 func (l *Live) Now() float64 { return time.Since(l.start).Seconds() }
 
+// Reserve grows each worker's span list to hold spansPerWorker entries
+// and the relay list to hold relays, so a run of known size records its
+// timeline without reallocating under the recording mutex. Existing
+// entries are preserved; capacities never shrink. Safe for concurrent
+// use, though it is meant to be called once before the workers start.
+func (l *Live) Reserve(spansPerWorker, relays int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for w := range l.tl.Spans {
+		if cap(l.tl.Spans[w]) < spansPerWorker {
+			grown := make([]Span, len(l.tl.Spans[w]), spansPerWorker)
+			copy(grown, l.tl.Spans[w])
+			l.tl.Spans[w] = grown
+		}
+	}
+	if relays > cap(l.tl.Relays) {
+		grown := make([]Relay, len(l.tl.Relays), relays)
+		copy(grown, l.tl.Relays)
+		l.tl.Relays = grown
+	}
+}
+
 // Add records a span for worker w. Safe for concurrent use.
 func (l *Live) Add(w int, s Span) {
 	l.mu.Lock()

@@ -1,0 +1,38 @@
+package trace
+
+import "testing"
+
+// TestLiveReserveMakesRecordingAllocationFree pins the zero-alloc
+// contract the measured runtime's hot path depends on: after Reserve, Add
+// and AddRelay must record without touching the heap — every span append
+// inside a worker's chunk loop would otherwise allocate under the
+// recording mutex, serializing the pool on the allocator.
+func TestLiveReserveMakesRecordingAllocationFree(t *testing.T) {
+	l := NewLive(2)
+	l.Reserve(256, 256)
+	if allocs := testing.AllocsPerRun(100, func() {
+		l.Add(0, Span{Kind: Compute, Start: 0, End: 1, Work: 1})
+	}); allocs != 0 {
+		t.Errorf("Add allocates %.1f objects per span after Reserve, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		l.AddRelay(Relay{Edge: 0, Dest: 1, Start: 0, End: 1, Data: 1})
+	}); allocs != 0 {
+		t.Errorf("AddRelay allocates %.1f objects per relay after Reserve, want 0", allocs)
+	}
+}
+
+// TestLiveReservePreservesRecordedSpans guards Reserve's copy semantics:
+// reserving after recording must keep what was recorded, and shrinking is
+// a no-op.
+func TestLiveReservePreservesRecordedSpans(t *testing.T) {
+	l := NewLive(1)
+	l.Add(0, Span{Kind: Comm, Start: 0, End: 2, Data: 5})
+	l.Reserve(64, 8)
+	l.Reserve(1, 0) // smaller than current capacity: must not shrink or drop
+	l.Add(0, Span{Kind: Compute, Start: 2, End: 3, Work: 7})
+	tl := l.Timeline()
+	if len(tl.Spans[0]) != 2 || tl.Spans[0][0].Data != 5 || tl.Spans[0][1].Work != 7 {
+		t.Errorf("spans corrupted across Reserve: %+v", tl.Spans[0])
+	}
+}
