@@ -23,12 +23,14 @@ func benchContext() (context.Context, context.CancelFunc) {
 // bandwidth-modeled link sweep, the chaos sweep (one injected fault
 // scenario per class, survived with a clean exactly-once ledger), and
 // the multi-tenant fleet-service sweep (Poisson arrivals per policy and
-// load, with a chaos-isolation entry), the network-topology sweep, and
-// the capacity-model validation sweep — every measured volume
-// cross-checked against the paper's closed forms and every trace audited
-// by the invariant oracle — emitting the seven BENCH_*.json artifacts
-// (see docs/PERFORMANCE.md). Ctrl-C stops the run at the next sweep
-// boundary without writing partial artifacts.
+// load, with a chaos-isolation entry), the network-topology sweep, the
+// capacity-model validation sweep, and the closed-loop iterative sweep
+// (three planning policies on a drifting fleet plus one adaptive run per
+// fault class) — every measured volume cross-checked against the paper's
+// closed forms and every trace audited by the invariant oracle —
+// emitting the eight BENCH_*.json artifacts (see docs/PERFORMANCE.md).
+// Ctrl-C stops the run at the next sweep boundary without writing
+// partial artifacts.
 func runBench(args []string) error {
 	fs := newFlagSet("bench")
 	seed := fs.Int64("seed", 42, "random seed (identical seeds reproduce identical geometry and volumes)")
@@ -39,6 +41,7 @@ func runBench(args []string) error {
 	serviceOnly := fs.Bool("service", false, "run (or with -validate, check) only the fleet-service sweep")
 	topologyOnly := fs.Bool("topology", false, "run (or with -validate, check) only the network-topology sweep")
 	capacityOnly := fs.Bool("capacity", false, "run (or with -validate, check) only the capacity-model validation sweep")
+	iterativeOnly := fs.Bool("iterative", false, "run (or with -validate, check) only the closed-loop iterative sweep")
 	validate := fs.Bool("validate", false, "validate existing BENCH_*.json in -out instead of running")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the sweeps to this file (inspect with `go tool pprof`)")
 	compare := fs.String("compare", "", "compare a baseline BENCH_kernels.json against a new one (positional arg; defaults to -out's) and print a benchstat-style table instead of running")
@@ -46,13 +49,13 @@ func runBench(args []string) error {
 		return err
 	}
 	only := 0
-	for _, f := range []bool{*chaosOnly, *serviceOnly, *topologyOnly, *capacityOnly} {
+	for _, f := range []bool{*chaosOnly, *serviceOnly, *topologyOnly, *capacityOnly, *iterativeOnly} {
 		if f {
 			only++
 		}
 	}
 	if only > 1 {
-		return fmt.Errorf("bench: -chaos, -service, -topology and -capacity are mutually exclusive")
+		return fmt.Errorf("bench: -chaos, -service, -topology, -capacity and -iterative are mutually exclusive")
 	}
 	paths := bench.Paths(*out)
 	if *compare != "" {
@@ -119,10 +122,21 @@ func runBench(args []string) error {
 			fmt.Println("BENCH_capacity.json: schema ok, predictions within tolerance on both runtimes, knee interior")
 			return nil
 		}
+		if *iterativeOnly {
+			itf, err := results.LoadBenchIterative(paths.Iterative)
+			if err != nil {
+				return err
+			}
+			if err := bench.ValidateIterative(itf); err != nil {
+				return err
+			}
+			fmt.Println("BENCH_iterative.json: schema ok, residuals deterministic across policies, adaptive beats static and tracks the oracle, zero violations")
+			return nil
+		}
 		if err := bench.ValidateFiles(*out); err != nil {
 			return err
 		}
-		fmt.Println("BENCH_kernels.json, BENCH_runtime.json, BENCH_link.json, BENCH_chaos.json, BENCH_service.json, BENCH_topology.json, BENCH_capacity.json: schema ok, volumes within tolerance, zero violations")
+		fmt.Println("BENCH_kernels.json, BENCH_runtime.json, BENCH_link.json, BENCH_chaos.json, BENCH_service.json, BENCH_topology.json, BENCH_capacity.json, BENCH_iterative.json: schema ok, volumes within tolerance, zero violations")
 		return nil
 	}
 
@@ -200,6 +214,21 @@ func runBench(args []string) error {
 		fmt.Printf("\nwrote %s (predictions within tolerance on both runtimes, knee interior)\n", paths.Capacity)
 		return nil
 	}
+	if *iterativeOnly {
+		itf, err := bench.RunIterativeSweep(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		if err := bench.ValidateIterative(itf); err != nil {
+			return err
+		}
+		if err := results.SaveBenchIterative(paths.Iterative, itf); err != nil {
+			return err
+		}
+		printIterative(itf)
+		fmt.Printf("\nwrote %s (adaptive beats static, tracks the oracle, residuals deterministic, zero violations)\n", paths.Iterative)
+		return nil
+	}
 
 	if _, err := bench.Run(ctx, cfg, *out); err != nil {
 		return err
@@ -261,8 +290,14 @@ func runBench(args []string) error {
 	}
 	fmt.Println()
 	printCapacity(capf)
-	fmt.Printf("\nwrote %s, %s, %s, %s, %s, %s and %s (all volumes within tolerance, zero trace violations)\n",
-		paths.Kernels, paths.Runtime, paths.Link, paths.Chaos, paths.Service, paths.Topology, paths.Capacity)
+	itf, err := results.LoadBenchIterative(paths.Iterative)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	printIterative(itf)
+	fmt.Printf("\nwrote %s, %s, %s, %s, %s, %s, %s and %s (all volumes within tolerance, zero trace violations)\n",
+		paths.Kernels, paths.Runtime, paths.Link, paths.Chaos, paths.Service, paths.Topology, paths.Capacity, paths.Iterative)
 	return nil
 }
 
@@ -317,6 +352,30 @@ func printCapacity(capf results.CapacityBenchFile) {
 	}
 	fmt.Printf("  knee %d of %d workers at theta %.2f (best %d, closed-form speedup bound %.3f)\n",
 		capf.Knee, len(capf.Speeds), capf.Theta, capf.Best, capf.SpeedupBound)
+}
+
+// printIterative renders the closed-loop iterative sweep: the three
+// planning policies' ranking on the drifting fleet, then the adaptive
+// controller's survival record per fault class.
+func printIterative(itf results.IterativeBenchFile) {
+	fmt.Printf("iterative sweep (rate %.3g cells/s per unit speed, drifting straggler, deterministic residuals):\n",
+		itf.WorkPerSecond)
+	fmt.Printf("  %-8s %6s %5s %8s %10s %8s %9s %9s %5s\n",
+		"policy", "rounds", "conv", "dominant", "makespan", "replans", "fallbacks", "reanchors", "viol")
+	for _, e := range itf.Policies {
+		fmt.Printf("  %-8s %6d %5v %8d %10.4f %8d %9d %9d %5d\n",
+			e.Policy, e.Rounds, e.Converged, e.Dominant, e.TotalMakespan,
+			e.Replans, e.Fallbacks, e.Reanchors, e.Violations)
+	}
+	fmt.Printf("  adaptive/oracle %.3fx, static/adaptive %.3fx\n",
+		itf.AdaptiveOverOracle, itf.StaticOverAdaptive)
+	fmt.Printf("  %-10s %6s %5s %5s %8s %9s %10s %5s\n",
+		"chaos", "rounds", "conv", "dead", "replans", "reanchors", "commTime", "viol")
+	for _, e := range itf.Chaos {
+		fmt.Printf("  %-10s %6d %5v %5d %8d %9d %10.5f %5d\n",
+			e.Class, e.Rounds, e.Converged, len(e.DeadWorkers),
+			e.Replans, e.Reanchors, e.CommTime, e.Violations)
+	}
 }
 
 // printService renders the fleet-service sweep: per (policy, load), the

@@ -18,6 +18,7 @@
 //	mapreduce  Sections 1.1/4: MapReduce distribution comparison + demo job
 //	faults     Section 1.1: robustness under crashes, stragglers, flaky links
 //	trace      Trace one executor run, audit invariants, render Gantt/Chrome JSON
+//	iterate    Closed-loop iterative job: measured-rate water-filling re-planning
 //	bench      Measured performance: kernels + runtime, emits BENCH_*.json
 //	recommend  Capacity planner: speedup curve, knee, recommended slice size
 //	serve      Multi-tenant fleet service behind an HTTP API
@@ -59,6 +60,7 @@ func commands() []command {
 		{"affinity", "the conclusion's affinity-aware demand-driven scheduler", runAffinity},
 		{"faults", "robustness under crashes, stragglers and flaky links", runFaults},
 		{"trace", "run one executor, audit its trace, render Gantt/Chrome JSON", runTrace},
+		{"iterate", "closed-loop iterative job with water-filling re-planning", runIterate},
 		{"bench", "measure kernels + worker-pool runtime, emit BENCH_*.json", runBench},
 		{"recommend", "size a fleet slice for an α-power workload (capacity planner)", runRecommend},
 		{"serve", "run the multi-tenant fleet service behind an HTTP API", runServe},

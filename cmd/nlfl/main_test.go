@@ -125,7 +125,7 @@ func TestCLIBench(t *testing.T) {
 	if err != nil {
 		t.Fatalf("bench run: %v", err)
 	}
-	for _, want := range []string{"kernels (autotuned tile", "runtime (rate", "hom/k", "het", "chaos sweep", "topology sweep", "crossover", "wrote"} {
+	for _, want := range []string{"kernels (autotuned tile", "runtime (rate", "hom/k", "het", "chaos sweep", "topology sweep", "crossover", "iterative sweep", "adaptive/oracle", "wrote"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("bench output missing %q:\n%s", want, truncate(out, 800))
 		}
@@ -262,6 +262,14 @@ func TestCLIErrors(t *testing.T) {
 		{"bench", "-chaos", "-topology"},
 		{"bench", "-service", "-topology"},
 		{"bench", "-capacity", "-chaos"},
+		{"bench", "-iterative", "-capacity"},
+		{"iterate", "-mode", "bogus"},
+		{"iterate", "-n", "0"},
+		{"iterate", "-tie", "2"},
+		{"iterate", "-speeds", "x"},
+		{"iterate", "-drift-worker", "9"},
+		{"iterate", "-drift-worker", "1", "-drift-factor", "0"},
+		{"iterate", "-mode", "static", "-n", "8", "-tie", "0.9999", "-rounds", "2", "-rate", "4e5"},
 		{"recommend", "-alpha", "0.5"},
 		{"recommend", "-speeds", "x"},
 		{"recommend", "-speeds", ""},
@@ -449,6 +457,122 @@ func TestCLITraceGolden(t *testing.T) {
 	}
 	if string(ra) == string(rb) {
 		t.Error("different seeds produced identical Chrome JSON")
+	}
+}
+
+// Golden determinism for `nlfl iterate`: the residual trajectory is
+// exact master-side float64 arithmetic, so the deterministic section of
+// the output (everything above "control and timing") must be
+// byte-identical across reruns AND across planning modes — only the
+// measured makespans below it may differ.
+func TestCLIIterateGolden(t *testing.T) {
+	deterministic := func(out string) string {
+		i := strings.Index(out, "control and timing")
+		if i < 0 {
+			t.Fatalf("output missing the control and timing section:\n%s", truncate(out, 800))
+		}
+		return out[:i]
+	}
+	residuals := func(out string) string {
+		s := deterministic(out)
+		i := strings.Index(s, "residuals (")
+		if i < 0 {
+			t.Fatalf("output missing the residuals section:\n%s", truncate(out, 800))
+		}
+		return s[i:]
+	}
+	args := func(mode string) []string {
+		return []string{"iterate", "-n", "48", "-tie", "0.6", "-rate", "4e5",
+			"-speeds", "1,2,3", "-rounds", "12", "-mode", mode,
+			"-drift-worker", "2", "-drift-factor", "0.4", "-drift-round", "1"}
+	}
+	var adaptive [2]string
+	for i := range adaptive {
+		out, err := capture(t, func() error { return run(args("adaptive")) })
+		if err != nil {
+			t.Fatalf("iterate adaptive: %v\n%s", err, out)
+		}
+		adaptive[i] = out
+	}
+	if deterministic(adaptive[0]) != deterministic(adaptive[1]) {
+		t.Errorf("rerun changed the deterministic section:\n--- a ---\n%s--- b ---\n%s",
+			deterministic(adaptive[0]), deterministic(adaptive[1]))
+	}
+	for _, want := range []string{"drift: worker 2 slows to 0.40x from round 1",
+		"converged in 7 rounds to dominant index 16", "replans", "total makespan"} {
+		if !strings.Contains(adaptive[0], want) {
+			t.Errorf("iterate output missing %q:\n%s", want, truncate(adaptive[0], 1200))
+		}
+	}
+	// The same trajectory under every planning mode: static and oracle
+	// must print residual-for-residual identical sections.
+	for _, mode := range []string{"static", "oracle"} {
+		out, err := capture(t, func() error { return run(args(mode)) })
+		if err != nil {
+			t.Fatalf("iterate %s: %v\n%s", mode, err, out)
+		}
+		if residuals(out) != residuals(adaptive[0]) {
+			t.Errorf("%s residuals differ from adaptive:\n--- %s ---\n%s--- adaptive ---\n%s",
+				mode, mode, residuals(out), residuals(adaptive[0]))
+		}
+	}
+}
+
+// TestCLIBenchIterative drives the iterative-only mode: the sweep must
+// pass its own acceptance gate, emit a BENCH_iterative.json that
+// round-trips through -iterative -validate, and keep the residual
+// trajectory deterministic across reruns (makespans are free to differ —
+// see EXPERIMENTS.md).
+func TestCLIBenchIterative(t *testing.T) {
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	var files [2]results.IterativeBenchFile
+	for i, dir := range dirs {
+		out, err := capture(t, func() error {
+			return run([]string{"bench", "-iterative", "-quick", "-seed", "42", "-out", dir})
+		})
+		if err != nil {
+			t.Fatalf("bench -iterative: %v\n%s", err, out)
+		}
+		for _, want := range []string{"iterative sweep", "static", "adaptive", "oracle",
+			"adaptive/oracle", "crash", "straggler", "link-slow", "wrote"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("bench -iterative output missing %q:\n%s", want, truncate(out, 1200))
+			}
+		}
+		files[i], err = results.LoadBenchIterative(dir + "/BENCH_iterative.json")
+		if err != nil {
+			t.Fatalf("emitted iterative artifact unreadable: %v", err)
+		}
+	}
+	if len(files[0].Policies) != len(files[1].Policies) {
+		t.Fatalf("policy counts differ across reruns: %d vs %d", len(files[0].Policies), len(files[1].Policies))
+	}
+	for i := range files[0].Policies {
+		a, b := files[0].Policies[i], files[1].Policies[i]
+		if a.Policy != b.Policy || a.Rounds != b.Rounds || a.Dominant != b.Dominant {
+			t.Errorf("policy %d identity not deterministic: %+v vs %+v", i, a, b)
+		}
+		for r := range a.Residuals {
+			if a.Residuals[r] != b.Residuals[r] {
+				t.Errorf("policy %s round %d residual differs across reruns: %v vs %v",
+					a.Policy, r, a.Residuals[r], b.Residuals[r])
+			}
+		}
+	}
+
+	out, err := capture(t, func() error {
+		return run([]string{"bench", "-iterative", "-validate", "-out", dirs[0]})
+	})
+	if err != nil {
+		t.Fatalf("bench -iterative -validate on freshly emitted artifact: %v", err)
+	}
+	if !strings.Contains(out, "BENCH_iterative.json: schema ok") {
+		t.Errorf("iterative validate output missing confirmation:\n%s", truncate(out, 800))
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"bench", "-iterative", "-validate", "-out", t.TempDir()})
+	}); err == nil {
+		t.Error("bench -iterative -validate on an empty directory should fail")
 	}
 }
 

@@ -105,6 +105,7 @@ func (st *serveState) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// differently (back off, resubmit elsewhere, drop the deadline).
 		var ae *service.AdmissionError
 		if errors.As(err, &ae) {
+			w.Header().Set("Retry-After", retryAfter(st.fleet.QueueDepth()))
 			writeJSON(w, http.StatusTooManyRequests, map[string]string{
 				"error":  err.Error(),
 				"reason": string(ae.Reason),
@@ -115,6 +116,7 @@ func (st *serveState) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		code := http.StatusBadRequest
 		if errors.Is(err, service.ErrAdmissionRejected) {
 			code = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", retryAfter(st.fleet.QueueDepth()))
 		}
 		writeJSON(w, code, map[string]string{"error": err.Error()})
 		return
@@ -156,6 +158,20 @@ func (st *serveState) handleGet(w http.ResponseWriter, r *http.Request) {
 		s.State = "failed"
 	}
 	writeJSON(w, http.StatusOK, s)
+}
+
+// retryAfter turns the fleet's queue depth into a Retry-After hint in
+// whole seconds: 1s for a shallow queue, one extra second per four
+// queued jobs, capped at 30s. Clients should treat it as a *minimum*
+// and add their own jitter (see docs/CAPACITY.md) — if every shed
+// client sleeps exactly this long, they all come back in the same
+// instant and the queue refills at once.
+func retryAfter(depth int) string {
+	secs := 1 + depth/4
+	if secs > 30 {
+		secs = 30
+	}
+	return fmt.Sprintf("%d", secs)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -136,6 +136,7 @@ func TestServeAdmissionSheds(t *testing.T) {
 
 	codes := make([]int, 0, 3)
 	var last rejectBody
+	var lastRetryAfter string
 	for i := 0; i < 3; i++ {
 		resp, err := http.Post(ts.URL+"/jobs", "application/json",
 			strings.NewReader(`{"tenant":"flood","n":48}`))
@@ -146,6 +147,7 @@ func TestServeAdmissionSheds(t *testing.T) {
 			if err := json.NewDecoder(resp.Body).Decode(&last); err != nil {
 				t.Fatalf("429 body is not JSON: %v", err)
 			}
+			lastRetryAfter = resp.Header.Get("Retry-After")
 		}
 		resp.Body.Close()
 		codes = append(codes, resp.StatusCode)
@@ -163,6 +165,27 @@ func TestServeAdmissionSheds(t *testing.T) {
 	}
 	if last.Detail == "" || last.Error == "" {
 		t.Fatalf("429 body missing detail or error: %+v", last)
+	}
+	// Backpressure regression: every 429 carries a Retry-After hint
+	// derived from queue depth (depth 2 → 1 + 2/4 = 1 second).
+	if lastRetryAfter != "1" {
+		t.Fatalf("429 Retry-After = %q, want %q for queue depth 2", lastRetryAfter, "1")
+	}
+}
+
+// TestRetryAfterScalesWithQueueDepth pins the header's scaling: one
+// extra second per four queued jobs, capped at 30.
+func TestRetryAfterScalesWithQueueDepth(t *testing.T) {
+	cases := []struct {
+		depth int
+		want  string
+	}{
+		{0, "1"}, {2, "1"}, {4, "2"}, {16, "5"}, {1000, "30"},
+	}
+	for _, c := range cases {
+		if got := retryAfter(c.depth); got != c.want {
+			t.Errorf("retryAfter(%d) = %q, want %q", c.depth, got, c.want)
+		}
 	}
 }
 

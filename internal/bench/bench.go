@@ -22,16 +22,17 @@ import (
 )
 
 // KernelsFileName, RuntimeFileName, LinkFileName, ChaosFileName,
-// ServiceFileName, TopologyFileName and CapacityFileName are the
-// emitted artifact names.
+// ServiceFileName, TopologyFileName, CapacityFileName and
+// IterativeFileName are the emitted artifact names.
 const (
-	KernelsFileName  = "BENCH_kernels.json"
-	RuntimeFileName  = "BENCH_runtime.json"
-	LinkFileName     = "BENCH_link.json"
-	ChaosFileName    = "BENCH_chaos.json"
-	ServiceFileName  = "BENCH_service.json"
-	TopologyFileName = "BENCH_topology.json"
-	CapacityFileName = "BENCH_capacity.json"
+	KernelsFileName   = "BENCH_kernels.json"
+	RuntimeFileName   = "BENCH_runtime.json"
+	LinkFileName      = "BENCH_link.json"
+	ChaosFileName     = "BENCH_chaos.json"
+	ServiceFileName   = "BENCH_service.json"
+	TopologyFileName  = "BENCH_topology.json"
+	CapacityFileName  = "BENCH_capacity.json"
+	IterativeFileName = "BENCH_iterative.json"
 )
 
 // Config selects the measurement envelope.
@@ -52,29 +53,31 @@ func maxProcs() int { return runtime.GOMAXPROCS(0) }
 
 // ArtifactPaths names every bench artifact under one output directory.
 type ArtifactPaths struct {
-	Kernels  string
-	Runtime  string
-	Link     string
-	Chaos    string
-	Service  string
-	Topology string
-	Capacity string
+	Kernels   string
+	Runtime   string
+	Link      string
+	Chaos     string
+	Service   string
+	Topology  string
+	Capacity  string
+	Iterative string
 }
 
 // List returns the paths in emission order, for callers that iterate.
 func (a ArtifactPaths) List() []string {
-	return []string{a.Kernels, a.Runtime, a.Link, a.Chaos, a.Service, a.Topology, a.Capacity}
+	return []string{a.Kernels, a.Runtime, a.Link, a.Chaos, a.Service, a.Topology, a.Capacity, a.Iterative}
 }
 
 // Paths returns the artifact paths under dir.
 func Paths(dir string) ArtifactPaths {
 	return ArtifactPaths{
-		Kernels:  filepath.Join(dir, KernelsFileName),
-		Runtime:  filepath.Join(dir, RuntimeFileName),
-		Link:     filepath.Join(dir, LinkFileName),
-		Chaos:    filepath.Join(dir, ChaosFileName),
-		Service:  filepath.Join(dir, ServiceFileName),
-		Topology: filepath.Join(dir, TopologyFileName),
-		Capacity: filepath.Join(dir, CapacityFileName),
+		Kernels:   filepath.Join(dir, KernelsFileName),
+		Runtime:   filepath.Join(dir, RuntimeFileName),
+		Link:      filepath.Join(dir, LinkFileName),
+		Chaos:     filepath.Join(dir, ChaosFileName),
+		Service:   filepath.Join(dir, ServiceFileName),
+		Topology:  filepath.Join(dir, TopologyFileName),
+		Capacity:  filepath.Join(dir, CapacityFileName),
+		Iterative: filepath.Join(dir, IterativeFileName),
 	}
 }

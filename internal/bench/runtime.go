@@ -155,8 +155,9 @@ func RunRuntime(ctx context.Context, cfg Config) (results.RuntimeBenchFile, erro
 
 // Run executes the full harness — kernels, runtime strategies, the
 // bandwidth-modeled link sweep, the chaos sweep, the multi-tenant
-// service sweep, the network-topology sweep, and the capacity-model
-// validation sweep — and writes the seven artifacts into dir,
+// service sweep, the network-topology sweep, the capacity-model
+// validation sweep, and the closed-loop iterative re-planning sweep —
+// and writes the eight artifacts into dir,
 // returning their paths. Every payload is validated before writing; a
 // file that would fail the CI schema gate is never emitted. A
 // cancelled ctx stops at the next sweep boundary with nothing written.
@@ -214,6 +215,13 @@ func Run(ctx context.Context, cfg Config, dir string) (ArtifactPaths, error) {
 	if err := ValidateCapacity(capf); err != nil {
 		return fail(err)
 	}
+	itf, err := RunIterativeSweep(ctx, cfg)
+	if err != nil {
+		return fail(err)
+	}
+	if err := ValidateIterative(itf); err != nil {
+		return fail(err)
+	}
 	if err := results.SaveBenchKernels(paths.Kernels, kf); err != nil {
 		return fail(err)
 	}
@@ -233,6 +241,9 @@ func Run(ctx context.Context, cfg Config, dir string) (ArtifactPaths, error) {
 		return fail(err)
 	}
 	if err := results.SaveBenchCapacity(paths.Capacity, capf); err != nil {
+		return fail(err)
+	}
+	if err := results.SaveBenchIterative(paths.Iterative, itf); err != nil {
 		return fail(err)
 	}
 	return paths, nil

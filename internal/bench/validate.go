@@ -168,7 +168,7 @@ func ValidateRuntime(f results.RuntimeBenchFile) error {
 	return nil
 }
 
-// ValidateFiles loads and validates all seven artifacts under dir —
+// ValidateFiles loads and validates all eight artifacts under dir —
 // the CI bench-smoke gate.
 func ValidateFiles(dir string) error {
 	paths := Paths(dir)
@@ -218,5 +218,12 @@ func ValidateFiles(dir string) error {
 	if err != nil {
 		return err
 	}
-	return ValidateCapacity(capf)
+	if err := ValidateCapacity(capf); err != nil {
+		return err
+	}
+	itf, err := results.LoadBenchIterative(paths.Iterative)
+	if err != nil {
+		return err
+	}
+	return ValidateIterative(itf)
 }

@@ -1,0 +1,38 @@
+package capacity
+
+import (
+	"fmt"
+	"math"
+)
+
+// FromObserved builds a capacity model from *measured* per-worker rates
+// instead of the nominal speed profile the fleet was configured with.
+// The rates are absolute cell-update rates in cells/second — exactly
+// what the iterative estimator's Rates() reports after watching real
+// rounds — so the model sets WorkPerSecond to 1 and carries the rates
+// as the speed vector: speedᵢ·R = rateᵢ either way, and every closed
+// form downstream (PredictSlice, Recommend, SpeedupBound) only ever
+// consumes that product.
+//
+// This is the feedback path for capacity planning: a fleet that has
+// drifted — a throttled machine, a noisy neighbour — moves the knee,
+// and re-planning against nominal speeds recommends workers the real
+// fleet can no longer pay for.
+func FromObserved(alpha float64, n int, rates []float64, bandwidth float64) (Model, error) {
+	for i, r := range rates {
+		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return Model{}, fmt.Errorf("capacity: observed rate[%d] = %v must be positive and finite", i, r)
+		}
+	}
+	m := Model{
+		Alpha:         alpha,
+		N:             n,
+		Speeds:        append([]float64(nil), rates...),
+		WorkPerSecond: 1,
+		Bandwidth:     bandwidth,
+	}
+	if err := m.Validate(); err != nil {
+		return Model{}, err
+	}
+	return m, nil
+}

@@ -1,0 +1,88 @@
+package capacity
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFromObservedEquivalentToNominal(t *testing.T) {
+	nominal := benchModel()
+	// Measured rates exactly at nominal: speedᵢ·R as absolute rates.
+	rates := make([]float64, len(nominal.Speeds))
+	for i, s := range nominal.Speeds {
+		rates[i] = s * nominal.WorkPerSecond
+	}
+	observed, err := FromObserved(nominal.Alpha, nominal.N, rates, nominal.Bandwidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p <= len(rates); p++ {
+		a, err := nominal.PredictSlice(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := observed.PredictSlice(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Makespan-b.Makespan) > 1e-9*a.Makespan {
+			t.Fatalf("p=%d: nominal makespan %v vs observed %v", p, a.Makespan, b.Makespan)
+		}
+	}
+}
+
+func TestFromObservedDriftMovesKnee(t *testing.T) {
+	nominal := benchModel()
+	rates := make([]float64, len(nominal.Speeds))
+	for i, s := range nominal.Speeds {
+		rates[i] = s * nominal.WorkPerSecond
+	}
+	healthy, err := FromObserved(nominal.Alpha, nominal.N, rates, nominal.Bandwidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole fleet has drifted to a quarter of its nominal compute
+	// rate (thermal throttling, noisy neighbours) while the link is
+	// unchanged: compute is now cheaper to add relative to shipping, so
+	// planning against nominal speeds overbuys workers. The knee from
+	// measured rates must differ from the nominal-speed knee.
+	drifted := make([]float64, len(rates))
+	for i, r := range rates {
+		drifted[i] = r / 4
+	}
+	slow, err := FromObserved(nominal.Alpha, nominal.N, drifted, nominal.Bandwidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const theta = 0.05
+	h, err := healthy.Recommend(theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := slow.Recommend(theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Knee == s.Knee {
+		t.Fatalf("uniform 4× compute drift left the knee at %d; the feedback path is not observable", h.Knee)
+	}
+	if s.Knee < h.Knee {
+		t.Fatalf("slower compute should tolerate MORE workers before the link dominates: healthy knee %d, drifted knee %d", h.Knee, s.Knee)
+	}
+}
+
+func TestFromObservedRejectsBadRates(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{1e4, 0},
+		{1e4, -3},
+		{1e4, math.NaN()},
+		{1e4, math.Inf(1)},
+	}
+	for i, rates := range cases {
+		if _, err := FromObserved(2, 96, rates, 1e4); err == nil {
+			t.Fatalf("case %d: accepted rates %v", i, rates)
+		}
+	}
+}

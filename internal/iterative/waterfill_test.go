@@ -1,0 +1,179 @@
+package iterative
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+func TestWaterFillLinearEqualWorkers(t *testing.T) {
+	s, err := WaterFill(Params{Unit: []float64{1e-5, 1e-5, 1e-5, 1e-5}, Load: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum(s.Kappa); math.Abs(got-4096) > 1e-9 {
+		t.Fatalf("Σκ = %v, want 4096 exactly", got)
+	}
+	for i, k := range s.Kappa {
+		if math.Abs(k-1024) > 1e-6 {
+			t.Fatalf("worker %d got %v, want 1024 (equal workers, equal shares)", i, k)
+		}
+	}
+	if want := 1024 * 1e-5; math.Abs(s.Theta-want) > 1e-3*want {
+		t.Fatalf("θ = %v, want ≈ %v", s.Theta, want)
+	}
+}
+
+func TestWaterFillLinearProportionalToRates(t *testing.T) {
+	// κᵢ/κⱼ must equal rateᵢ/rateⱼ when overheads are zero.
+	unit := []float64{1. / 4e4, 1. / 8e4, 1. / 2e4}
+	s, err := WaterFill(Params{Unit: unit, Load: 9216})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Kappa[1] / s.Kappa[0]; math.Abs(r-2) > 1e-6 {
+		t.Fatalf("κ₁/κ₀ = %v, want 2", r)
+	}
+	if r := s.Kappa[0] / s.Kappa[2]; math.Abs(r-2) > 1e-6 {
+		t.Fatalf("κ₀/κ₂ = %v, want 2", r)
+	}
+}
+
+func TestWaterFillCommOverheadExcludesSlowStarter(t *testing.T) {
+	// Worker 1's fixed overhead exceeds the water level: it must get 0,
+	// and the others absorb the whole load.
+	s, err := WaterFill(Params{
+		Unit: []float64{1e-5, 1e-5},
+		Comm: []float64{0, 1e3},
+		Load: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kappa[1] != 0 {
+		t.Fatalf("over-water worker got κ=%v, want 0", s.Kappa[1])
+	}
+	if math.Abs(s.Kappa[0]-1000) > 1e-9 {
+		t.Fatalf("surviving worker got %v, want the full 1000", s.Kappa[0])
+	}
+}
+
+func TestWaterFillEqualizesFinishTimes(t *testing.T) {
+	// The solved split's defining property: every loaded worker finishes
+	// at θ under the (possibly nonlinear) time model.
+	for _, gamma := range []float64{0, 0.3, 2.5} {
+		p := Params{
+			Gamma: gamma,
+			Unit:  []float64{2e-5, 1e-5, 5e-5},
+			Comm:  []float64{1e-3, 2e-3, 0},
+			Sigma: []float64{1e-4, 3e-4, 0},
+			Load:  5000,
+		}
+		s, err := WaterFill(p)
+		if err != nil {
+			t.Fatalf("γ=%v: %v", gamma, err)
+		}
+		for i, k := range s.Kappa {
+			if k <= 0 {
+				continue
+			}
+			c, m, sg := p.Comm[i], p.Unit[i], p.Sigma[i]
+			var ti float64
+			if gamma == 0 {
+				ti = c + m*k
+			} else {
+				a := c + gamma*c*c
+				b := 2*gamma*c*m + m + gamma*sg*sg
+				ti = a + b*k + gamma*m*m*k*k
+			}
+			if math.Abs(ti-s.Theta) > 1e-6*s.Theta {
+				t.Fatalf("γ=%v worker %d finishes at %v, want θ=%v", gamma, i, ti, s.Theta)
+			}
+		}
+	}
+}
+
+func TestWaterFillVarianceTax(t *testing.T) {
+	// Two otherwise identical workers: the noisy one must get strictly
+	// less load once γ > 0 — the no-free-lunch term at work.
+	s, err := WaterFill(Params{
+		Gamma: 1,
+		Unit:  []float64{1e-4, 1e-4},
+		Sigma: []float64{0, 5e-2},
+		Load:  2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kappa[1] >= s.Kappa[0] {
+		t.Fatalf("noisy worker got κ=%v ≥ quiet worker's %v", s.Kappa[1], s.Kappa[0])
+	}
+}
+
+func TestWaterFillGammaContinuity(t *testing.T) {
+	// γ→0 must approach the linear branch, not jump (the closed form
+	// divides by γ; the limit is implemented separately).
+	lin, err := WaterFill(Params{Unit: []float64{1e-5, 3e-5}, Comm: []float64{1e-4, 0}, Load: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := WaterFill(Params{Gamma: 1e-12, Unit: []float64{1e-5, 3e-5}, Comm: []float64{1e-4, 0}, Load: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lin.Kappa {
+		if math.Abs(lin.Kappa[i]-tiny.Kappa[i]) > 1e-3*lin.Kappa[i] {
+			t.Fatalf("worker %d: linear κ=%v vs γ=1e-12 κ=%v", i, lin.Kappa[i], tiny.Kappa[i])
+		}
+	}
+}
+
+func TestWaterFillExactLoad(t *testing.T) {
+	s, err := WaterFill(Params{Gamma: 0.7, Unit: []float64{1e-5, 2e-5, 7e-5}, Sigma: []float64{1e-3, 0, 2e-3}, Load: 9216})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum(s.Kappa); got != 9216 {
+		// The final rescale pins Σκ to the load bit-exactly so the plan
+		// snapping sees the true total.
+		if math.Abs(got-9216) > 1e-9 {
+			t.Fatalf("Σκ = %v, want 9216", got)
+		}
+	}
+}
+
+func TestWaterFillBadParams(t *testing.T) {
+	cases := []Params{
+		{Load: 100},                                                           // no workers
+		{Unit: []float64{1e-5}, Load: 0},                                      // zero load
+		{Unit: []float64{0}, Load: 100},                                       // zero unit time
+		{Unit: []float64{-1e-5}, Load: 100},                                   // negative unit time
+		{Unit: []float64{1e-5}, Load: math.NaN()},                             // NaN load
+		{Unit: []float64{1e-5}, Gamma: -1, Load: 100},                         // negative gamma
+		{Unit: []float64{1e-5}, Comm: nil, Sigma: []float64{1, 2}, Load: 100}, // sigma length
+		{Unit: []float64{1e-5}, Comm: []float64{-1}, Load: 100},               // negative overhead
+	}
+	for i, p := range cases {
+		if _, err := WaterFill(p); !errors.Is(err, ErrBadParams) {
+			t.Fatalf("case %d: err = %v, want ErrBadParams", i, err)
+		}
+	}
+}
+
+func TestWaterFillSingleWorker(t *testing.T) {
+	s, err := WaterFill(Params{Unit: []float64{1e-5}, Load: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kappa[0] != 1024 {
+		t.Fatalf("single worker got %v, want the whole load", s.Kappa[0])
+	}
+}

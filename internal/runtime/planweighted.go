@@ -1,0 +1,71 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+
+	"nlfl/internal/core"
+	"nlfl/internal/partition"
+)
+
+// PlanWeighted builds an owned plan whose per-worker areas are
+// proportional to the given weights: the same PERI-SUM partition PlanHet
+// runs, but over caller-supplied loads instead of platform speeds — the
+// entry point the water-filling re-planner uses to realize a measured-rate
+// split. Weights must be non-negative with at least one positive entry;
+// worker i owns the rectangle of weight i. A zero weight (or one whose
+// rectangle snaps to zero cells on the integer grid) drops that worker
+// from the round rather than failing: shared boundaries round to the same
+// grid line, so the surviving rectangles still tile the domain exactly.
+// Predicted is Σ(wᵢ+hᵢ) over the snapped rectangles — what the plan ships.
+func PlanWeighted(strategy string, weights []float64, n int) (*StrategyPlan, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("runtime: invalid problem size %d", n)
+	}
+	idx := make([]int, 0, len(weights))
+	areas := make([]float64, 0, len(weights))
+	for w, wt := range weights {
+		if wt < 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
+			return nil, fmt.Errorf("runtime: worker %d has invalid weight %v", w, wt)
+		}
+		if wt > 0 {
+			idx = append(idx, w)
+			areas = append(areas, wt)
+		}
+	}
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("runtime: all %d weights are zero", len(weights))
+	}
+	part, err := partition.PeriSum(areas)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: weighted partition: %w", err)
+	}
+	chunks := make([]Chunk, 0, len(part.Rects))
+	predicted := 0.0
+	task := 0
+	for _, r := range part.Rects {
+		ir := core.SnapRect(r, n)
+		if ir.Cells() <= 0 {
+			continue
+		}
+		c := Chunk{
+			Task:  task,
+			RowLo: ir.RowLo, RowHi: ir.RowHi,
+			ColLo: ir.ColLo, ColHi: ir.ColHi,
+			Owner: idx[r.Index],
+		}
+		task++
+		predicted += float64(c.Data())
+		chunks = append(chunks, c)
+	}
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("runtime: every weighted rectangle snapped to zero cells on the %d×%d grid", n, n)
+	}
+	return &StrategyPlan{
+		Strategy:  strategy,
+		N:         n,
+		Chunks:    chunks,
+		K:         0,
+		Predicted: predicted,
+	}, nil
+}

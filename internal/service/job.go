@@ -46,8 +46,15 @@ type JobSpec struct {
 	Tenant string
 	// N is the problem size (output is N×N).
 	N int
-	// Strategy picks the partition: "hom" (default), "hom/k" or "het".
+	// Strategy picks the partition: "hom" (default), "hom/k", "het" or
+	// "wf" (caller-weighted PERI-SUM; requires Weights).
 	Strategy string
+	// Weights are the per-slice-worker load weights for the "wf"
+	// strategy, in the order of the job's admitted slice (ascending
+	// fleet ids) — typically a water-filling split from measured rates.
+	// Required with "wf", forbidden otherwise; the length must match the
+	// admitted slice (preview it with Fleet.SliceFor).
+	Weights []float64
 	// A and B are the input vectors (length N); nil inputs are generated
 	// deterministically from Seed.
 	A, B []float64
@@ -93,6 +100,12 @@ func (s JobSpec) validate(p int) error {
 	}
 	if s.MaxWorkers < 0 {
 		return fmt.Errorf("service: negative MaxWorkers %d", s.MaxWorkers)
+	}
+	if s.Strategy == "wf" && len(s.Weights) == 0 {
+		return fmt.Errorf("service: strategy wf requires Weights")
+	}
+	if s.Strategy != "wf" && s.Weights != nil {
+		return fmt.Errorf("service: Weights are only meaningful with strategy wf (got %q)", s.Strategy)
 	}
 	if s.Chaos.enabled() {
 		if err := s.Chaos.Scenario.Validate(p); err != nil {

@@ -402,8 +402,18 @@ func (f *Fleet) buildJobLocked(spec JobSpec, slice []int) (*job, error) {
 		plan, err = nrt.PlanHomK(pl, spec.N, 0.01, 0)
 	case "het":
 		plan, err = nrt.PlanHet(pl, spec.N)
+	case "wf":
+		// Caller-weighted PERI-SUM: Weights[i] loads slice worker i
+		// (ascending fleet id). The slice is health- and admission-capped
+		// at submit time, so the caller must size Weights against the
+		// SliceFor preview — a mismatch is a spec error, not a reshuffle.
+		if len(spec.Weights) != len(slice) {
+			return nil, fmt.Errorf("service: %d wf weights for an admitted slice of %d workers (preview with SliceFor)",
+				len(spec.Weights), len(slice))
+		}
+		plan, err = nrt.PlanWeighted("wf", spec.Weights, spec.N)
 	default:
-		return nil, fmt.Errorf("service: unknown strategy %q (want hom, hom/k or het)", spec.Strategy)
+		return nil, fmt.Errorf("service: unknown strategy %q (want hom, hom/k, het or wf)", spec.Strategy)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("service: plan %s n=%d over %d workers: %w", spec.Strategy, spec.N, len(slice), err)
@@ -475,6 +485,28 @@ func (f *Fleet) ledgerLocked(tenant string) *tenantLedger {
 		f.accounts[tenant] = led
 	}
 	return led
+}
+
+// QueueDepth reports the number of unfinished admitted jobs — the
+// backpressure signal API layers turn into Retry-After hints.
+func (f *Fleet) QueueDepth() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.active)
+}
+
+// SliceFor previews the fleet slice a job with this spec would be
+// admitted with right now (ascending fleet ids) — the sizing handshake
+// for the "wf" strategy, whose Weights must match the slice one-to-one.
+// The preview races with health changes and other admissions only in
+// the sense that the slice may differ by the time Submit runs; Submit
+// then rejects the stale weights instead of misassigning them.
+func (f *Fleet) SliceFor(spec JobSpec) []int {
+	spec = spec.withDefaults()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	slice, _ := f.sliceForLocked(spec)
+	return slice
 }
 
 // LinkCapacity reports the shared master port's aggregate bandwidth
